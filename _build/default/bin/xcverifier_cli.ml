@@ -1,0 +1,335 @@
+(* Command-line interface to the XCVerifier pipeline.
+
+   Subcommands:
+     list      - functionals and conditions
+     encode    - print the encoded local condition for a (DFA, condition)
+     verify    - run Algorithm 1 on one pair, print summary and region map
+     campaign  - run all applicable pairs, print Table I
+     baseline  - run the Pederson-Burke grid check on one pair
+     compare   - verify + baseline + consistency, with figure-style maps *)
+
+open Cmdliner
+
+(* ---- shared arguments ---------------------------------------------- *)
+
+let dfa_arg =
+  let doc =
+    "Functional name: pbe, scan, lyp, am05, vwn_rpa (paper five) or pw92, \
+     pz81, vwn5, am05x, b88, blyp, rscan."
+  in
+  Arg.(required & opt (some string) None & info [ "d"; "dfa" ] ~doc ~docv:"DFA")
+
+let condition_arg =
+  let doc = "Exact condition: ec1 .. ec7." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "c"; "condition" ] ~doc ~docv:"COND")
+
+let fuel_arg =
+  let doc = "Solver fuel (box expansions) per dReal-style call." in
+  Arg.(value & opt int 600 & info [ "fuel" ] ~doc)
+
+let threshold_arg =
+  let doc = "Domain-splitting threshold t of Algorithm 1." in
+  Arg.(value & opt float 0.05 & info [ "t"; "threshold" ] ~doc)
+
+let delta_arg =
+  let doc = "Delta of the delta-sat decision." in
+  Arg.(value & opt float 1e-4 & info [ "delta" ] ~doc)
+
+let deadline_arg =
+  let doc = "Wall-clock budget in seconds per (DFA, condition) pair." in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~doc)
+
+let map_arg =
+  let doc = "Print the ASCII region map." in
+  Arg.(value & flag & info [ "map" ] ~doc)
+
+let grid_arg =
+  let doc = "Grid points per axis for the PB baseline." in
+  Arg.(value & opt int 100 & info [ "n"; "grid" ] ~doc)
+
+let taylor_arg =
+  let doc = "Enable the mean-value-form (Taylor) contractor." in
+  Arg.(value & flag & info [ "taylor" ] ~doc)
+
+let certify_arg =
+  let doc = "Print an interval-certified counterexample certificate." in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
+let config_of ?(use_taylor = false) fuel threshold delta deadline =
+  {
+    Verify.threshold;
+    solver = { Icp.default_config with fuel; delta; contractor_rounds = 3 };
+    deadline_seconds = deadline;
+    workers = 1;
+    use_taylor;
+  }
+
+let lookup_pair dfa cond =
+  match Registry.find_opt dfa with
+  | None -> Error (Printf.sprintf "unknown functional %S (try: list)" dfa)
+  | Some f -> (
+      match Conditions.of_name cond with
+      | c -> Ok (f, c)
+      | exception Not_found ->
+          Error (Printf.sprintf "unknown condition %S (try: list)" cond))
+
+(* ---- list ----------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    print_endline "Functionals:";
+    List.iter
+      (fun f -> Format.printf "  %-8s %a@." f.Registry.name Registry.pp f)
+      Registry.all;
+    print_endline "\nConditions:";
+    List.iter
+      (fun c ->
+        Format.printf "  %-4s %s (local condition, Eq. %d)@."
+          (Conditions.name c) (Conditions.label c) (Conditions.equation c))
+      Conditions.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List available functionals and exact conditions")
+    Term.(const run $ const ())
+
+(* ---- encode ---------------------------------------------------------- *)
+
+let encode_cmd =
+  let format_arg =
+    let doc = "Output format: infix, sexp, python or c." in
+    Arg.(value & opt string "infix" & info [ "f"; "format" ] ~doc)
+  in
+  let run dfa cond format =
+    match lookup_pair dfa cond with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok (f, c) -> (
+        match Encoder.encode f c with
+        | None ->
+            Printf.printf "%s does not apply to %s\n" cond dfa;
+            exit 1
+        | Some p ->
+            let e = p.Encoder.psi.Form.expr in
+            (match format with
+            | "c" ->
+                let name =
+                  Printf.sprintf "%s_%s_psi" f.Registry.name
+                    (Conditions.name c)
+                in
+                print_string
+                  (Printer.c_to_string ~name
+                     ~vars:(Registry.variables f) e)
+            | _ ->
+                let body =
+                  match format with
+                  | "sexp" -> Printer.sexp_to_string e
+                  | "python" -> Printer.python_to_string e
+                  | _ -> Printer.to_string e
+                in
+                Printf.printf "psi: %s >= 0\n" body);
+            Printf.printf "operations: %d (dag nodes: %d)\n"
+              (Encoder.operation_count p) (Expr.size e))
+  in
+  Cmd.v
+    (Cmd.info "encode"
+       ~doc:"Print the encoded local condition for a (DFA, condition) pair")
+    Term.(const run $ dfa_arg $ condition_arg $ format_arg)
+
+(* ---- verify ---------------------------------------------------------- *)
+
+let verify_cmd =
+  let run dfa cond fuel threshold delta deadline map use_taylor certify =
+    match lookup_pair dfa cond with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok (f, c) -> (
+        let config = config_of ~use_taylor fuel threshold delta deadline in
+        match Encoder.encode f c with
+        | None ->
+            Printf.printf "%s does not apply to %s\n" cond dfa;
+            exit 1
+        | Some problem ->
+            let o = Verify.run ~config problem in
+            Format.printf "%a@." Outcome.pp_summary o;
+            (match Outcome.first_counterexample o with
+            | Some m ->
+                Format.printf "counterexample:";
+                List.iter (fun (v, x) -> Format.printf " %s=%.6g" v x) m;
+                Format.printf "@."
+            | None -> ());
+            if certify then begin
+              let cert, dropped = Witness.extract problem o in
+              Format.printf "%a" Witness.pp cert;
+              if dropped > 0 then
+                Format.printf "(%d unreproducible models dropped)@." dropped
+            end;
+            if map then print_string (Render.outcome_map o))
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Run Algorithm 1 on one (DFA, condition) pair")
+    Term.(
+      const run $ dfa_arg $ condition_arg $ fuel_arg $ threshold_arg
+      $ delta_arg $ deadline_arg $ map_arg $ taylor_arg $ certify_arg)
+
+(* ---- extra (extension conditions) ------------------------------------ *)
+
+let extra_cmd =
+  let run fuel threshold delta deadline =
+    let config = config_of fuel threshold delta deadline in
+    List.iter
+      (fun (f : Registry.t) ->
+        List.iter
+          (fun cond ->
+            match Extra_conditions.local_condition cond f with
+            | None -> ()
+            | Some psi ->
+                let o =
+                  Verify.run_custom ~config ~dfa_label:f.Registry.label
+                    ~condition_label:(Extra_conditions.name cond)
+                    ~domain:(Domain_spec.box_for f) ~psi ()
+                in
+                Format.printf "%a@." Outcome.pp_summary o)
+          Extra_conditions.all)
+      (Extra_conditions.exchange_functionals ())
+  in
+  Cmd.v
+    (Cmd.info "extra"
+       ~doc:
+         "Verify the extension conditions (exchange non-positivity and the \
+          exchange Lieb-Oxford bound) for every exchange functional")
+    Term.(const run $ fuel_arg $ threshold_arg $ delta_arg $ deadline_arg)
+
+(* ---- campaign -------------------------------------------------------- *)
+
+let campaign_cmd =
+  let quick_arg =
+    let doc = "Use the quick preset (coarser threshold, small fuel)." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let save_arg =
+    let doc = "Archive the outcomes (one s-expression per line)." in
+    Arg.(value & opt (some string) None & info [ "save" ] ~doc ~docv:"FILE")
+  in
+  let run quick fuel threshold delta deadline save =
+    let config =
+      if quick then Verify.quick_config
+      else config_of fuel threshold delta deadline
+    in
+    let outcomes = Xcverifier.verify_all ~config () in
+    List.iter (fun o -> Format.printf "%a@." Outcome.pp_summary o) outcomes;
+    print_newline ();
+    print_string (Report.table1 outcomes);
+    match save with
+    | Some path ->
+        Serialize.save path outcomes;
+        Printf.printf "\nsaved %d outcomes to %s\n" (List.length outcomes)
+          path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Verify every applicable condition for the paper's five DFAs")
+    Term.(
+      const run $ quick_arg $ fuel_arg $ threshold_arg $ delta_arg
+      $ deadline_arg $ save_arg)
+
+(* ---- replay ----------------------------------------------------------- *)
+
+let replay_cmd =
+  let file_arg =
+    let doc = "Archive produced by campaign --save." in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"FILE")
+  in
+  let run file map =
+    let outcomes = Serialize.load file in
+    List.iter (fun o -> Format.printf "%a@." Outcome.pp_summary o) outcomes;
+    print_newline ();
+    print_string (Report.table1 outcomes);
+    if map then
+      List.iter
+        (fun o ->
+          Printf.printf "\n%s / %s\n" o.Outcome.dfa o.Outcome.condition;
+          print_string (Render.outcome_map o))
+        outcomes
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-render tables and maps from an archived campaign without \
+          re-solving")
+    Term.(const run $ file_arg $ map_arg)
+
+(* ---- baseline -------------------------------------------------------- *)
+
+let baseline_cmd =
+  let run dfa cond n map =
+    match lookup_pair dfa cond with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok (f, c) -> (
+        match Pbcheck.check ~n f c with
+        | None ->
+            Printf.printf "%s does not apply to %s\n" cond dfa;
+            exit 1
+        | Some r ->
+            Format.printf "%a@." Pbcheck.pp_summary r;
+            (match Pbcheck.violation_boundary_s r with
+            | Some s -> Format.printf "violations at s >= %.4f@." s
+            | None -> ());
+            if map then print_string (Render.pb_map r))
+  in
+  Cmd.v
+    (Cmd.info "baseline"
+       ~doc:"Run the Pederson-Burke grid-search baseline on one pair")
+    Term.(const run $ dfa_arg $ condition_arg $ grid_arg $ map_arg)
+
+(* ---- compare --------------------------------------------------------- *)
+
+let compare_cmd =
+  let run dfa cond fuel threshold delta deadline n =
+    match lookup_pair dfa cond with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok (f, c) -> (
+        let config = config_of fuel threshold delta deadline in
+        match Verify.run_pair ~config f c, Pbcheck.check ~n f c with
+        | Some o, Some pb ->
+            print_string (Xcverifier.figure o (Some pb));
+            let cons, overlap = Report.consistency_of o pb in
+            Format.printf
+              "consistency: %s (%.0f%% of PB violations inside unverified \
+               regions)@."
+              (Report.consistency_symbol cons)
+              (100.0 *. overlap)
+        | _ ->
+            Printf.printf "%s does not apply to %s\n" cond dfa;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Verify and grid-check one pair; print both maps and consistency")
+    Term.(
+      const run $ dfa_arg $ condition_arg $ fuel_arg $ threshold_arg
+      $ delta_arg $ deadline_arg $ grid_arg)
+
+let () =
+  let info =
+    Cmd.info "xcverifier" ~version:Xcverifier.version
+      ~doc:
+        "Formal verification of DFT exact conditions for density functional \
+         approximations"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; encode_cmd; verify_cmd; campaign_cmd; baseline_cmd;
+            compare_cmd; extra_cmd; replay_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/ci_mutation.ml: Conditions Dft_vars Eval Expr Format Gga_pbe Icp Lda_pw92 List Mutate Option Outcome Registry Uniform Verify

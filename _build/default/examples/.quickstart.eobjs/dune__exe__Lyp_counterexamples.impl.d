@@ -1,0 +1,1 @@
+examples/lyp_counterexamples.ml: Conditions Form Format Icp List Option Outcome Pbcheck Printf Registry Render String Verify

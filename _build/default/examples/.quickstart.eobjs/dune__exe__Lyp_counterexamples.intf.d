@@ -1,0 +1,1 @@
+examples/lyp_counterexamples.mli:

@@ -1,0 +1,1 @@
+examples/pbe_region_map.ml: Conditions Format Icp List Option Pbcheck Printf Registry Render Report Sys Verify

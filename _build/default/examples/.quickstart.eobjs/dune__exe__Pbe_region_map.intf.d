@@ -1,0 +1,1 @@
+examples/pbe_region_map.mli:

@@ -1,0 +1,1 @@
+examples/pz81_discontinuity.ml: Conditions Deriv Dft_vars Float Format Icp Ieval Interval Lda_pw92 Lda_pz81 List Outcome Registry Verify

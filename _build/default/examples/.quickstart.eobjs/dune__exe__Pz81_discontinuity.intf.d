@@ -1,0 +1,1 @@
+examples/pz81_discontinuity.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Box Conditions Encoder Form Format Option Outcome Registry Render Verify

@@ -1,0 +1,1 @@
+examples/scan_challenge.ml: Box Conditions Domain_spec Encoder Expr Form Format Icp Interval List Option Outcome Registry Verify

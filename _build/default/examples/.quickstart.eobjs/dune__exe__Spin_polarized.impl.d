@@ -1,0 +1,1 @@
+examples/spin_polarized.ml: Box Dft_vars Enhancement Expr Form Format Gga_pbe Icp Interval List Outcome Printf Render Simplify Spin Uniform Verify

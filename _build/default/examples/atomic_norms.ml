@@ -1,0 +1,52 @@
+(* Appropriate norms: DFAs against real atoms.
+
+   The paper's introduction distinguishes exact *conditions* (analytic
+   properties of the exact functional — what the verifier checks) from
+   *norms* (reproducing known physical systems: "e.g., a hydrogen or a
+   helium atom for which exact results are available"). This example closes
+   that second loop with the in-repo Kohn-Sham solver: the same symbolic
+   functionals the verifier analyzes drive a self-consistent atomic
+   calculation, and the total energies land on the standard NIST LDA
+   reference values.
+
+   The xc potential v_xc = eps_xc - (rs/3) d eps_xc/d rs is not hand-coded:
+   it is produced by symbolic differentiation of the very expression the
+   exact-condition encoder uses. One definition of the functional, three
+   consumers — verifier, grid baseline, Kohn-Sham solver.
+
+   Run with:  dune exec examples/atomic_norms.exe *)
+
+let nist_lda = [ (1, "H", -0.445671); (2, "He", -2.834836) ]
+
+let () =
+  print_endline "=== LDA (exchange + VWN5 correlation) atomic ground states ===";
+  List.iter
+    (fun (z, name, reference) ->
+      let r = Scf.solve ~z () in
+      Format.printf "%-2s (Z = %d):@." name z;
+      Format.printf "  %a" Scf.pp_result r;
+      Format.printf "  NIST LDA reference: %.6f Ha (difference %+.1e)@.@."
+        reference
+        (r.Scf.energy -. reference))
+    nist_lda;
+
+  print_endline "=== Correlation parametrization matters: He with each LDA ===";
+  List.iter
+    (fun name ->
+      let r = Scf.solve ~z:2 ~xc:(Registry.find name) () in
+      Format.printf "  %-8s E(He) = %.6f Ha@." name r.Scf.energy)
+    [ "vwn5"; "pw92"; "pz81"; "vwn_rpa" ];
+  print_newline ();
+  print_endline
+    "VWN5, PW92 and PZ81 all parametrize the same Ceperley-Alder data and\n\
+     land within ~1 mHa of each other; VWN-RPA parametrizes RPA energies\n\
+     instead and overbinds by ~60 mHa — the same physics the verifier sees\n\
+     abstractly when VWN-RPA's deeper F_c still satisfies every exact\n\
+     condition (conditions constrain the form, norms pin the values).";
+  print_newline ();
+
+  print_endline "=== A heavier case: neon ===";
+  let r = Scf.solve ~z:10 () in
+  Format.printf "%a" Scf.pp_result r;
+  Format.printf "  NIST LDA reference: -128.233481 Ha (difference %+.1e)@."
+    (r.Scf.energy +. 128.233481)

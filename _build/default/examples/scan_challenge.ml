@@ -1,0 +1,95 @@
+(* The SCAN challenge (paper Sections IV-B and VI-A).
+
+   SCAN was designed to satisfy every known exact condition, yet the paper's
+   verifier times out on *all* of them — even on the simple EC1 and even
+   after shrinking the input domain 32x. The complexity comes from SCAN's
+   piecewise switching function with an essential singularity at alpha = 1,
+   nested exp/log, and three input dimensions.
+
+   This example reproduces that phenomenon, then measures the paper's
+   suggested way forward — the regularized rSCAN functional — and finds a
+   nuance: rSCAN removes the essential singularity (good for float grids)
+   but its switching polynomial *adds* operations, so for an interval
+   solver it is no easier than SCAN at equal budgets.
+
+   Run with:  dune exec examples/scan_challenge.exe *)
+
+let budget = { Icp.default_config with fuel = 2000; delta = 1e-3 }
+
+let solve_ec1 name domain =
+  let dfa = Registry.find name in
+  let problem = Option.get (Encoder.encode dfa Conditions.Ec1) in
+  let verdict, stats = Icp.solve budget domain problem.Encoder.negated in
+  (verdict, stats)
+
+let describe = function
+  | Icp.Unsat -> "UNSAT (condition verified)"
+  | Icp.Sat { certified = true; _ } -> "SAT (counterexample)"
+  | Icp.Sat { certified = false; _ } -> "delta-SAT (model to re-check)"
+  | Icp.Timeout -> "TIMEOUT"
+
+let shrink factor box =
+  (* Reduce every dimension to 1/factor of its width (from the low end) —
+     the paper's "input domain reduced 32x" experiment. *)
+  List.fold_left
+    (fun b v ->
+      let iv = Box.get b v in
+      let lo = Interval.inf iv in
+      let w = Interval.width iv /. factor in
+      Box.set b v (Interval.make lo (lo +. w)))
+    box (Box.vars box)
+
+let () =
+  let scan = Registry.find "scan" in
+  let full = Domain_spec.box_for scan in
+
+  print_endline "=== SCAN: E_c non-positivity (EC1), single solver call ===";
+  Format.printf "domain: %a@." Box.pp full;
+  let v, stats = solve_ec1 "scan" full in
+  Format.printf "full domain:        %s after %d expansions@." (describe v)
+    stats.Icp.expansions;
+
+  List.iter
+    (fun factor ->
+      let v, stats = solve_ec1 "scan" (shrink factor full) in
+      Format.printf "domain reduced %3.0fx: %s after %d expansions@." factor
+        (describe v) stats.Icp.expansions)
+    [ 2.0; 8.0; 32.0 ];
+  print_newline ();
+
+  print_endline "=== Why: the encoded condition's complexity ===";
+  List.iter
+    (fun name ->
+      let dfa = Registry.find name in
+      let p = Option.get (Encoder.encode dfa Conditions.Ec1) in
+      Format.printf "%-8s EC1 psi: %5d operations (%4d dag nodes), %d input dims@."
+        dfa.Registry.label (Encoder.operation_count p)
+        (Expr.size p.Encoder.psi.Form.expr)
+        (Box.dim p.Encoder.domain))
+    [ "vwn_rpa"; "pbe"; "lyp"; "am05"; "scan"; "rscan" ];
+  print_newline ();
+
+  print_endline "=== With Algorithm 1 (domain splitting), small budget ===";
+  let config =
+    {
+      Verify.threshold = 0.7;
+      solver = { Icp.default_config with fuel = 150; contractor_rounds = 2 };
+      deadline_seconds = Some 25.0;
+      workers = 1;
+      use_taylor = false;
+    }
+  in
+  List.iter
+    (fun name ->
+      let dfa = Registry.find name in
+      match Verify.run_pair ~config dfa Conditions.Ec1 with
+      | Some o -> Format.printf "%a@." Outcome.pp_summary o
+      | None -> ())
+    [ "scan"; "rscan" ];
+  print_newline ();
+  print_endline
+    "Paper reference: SCAN times out for all seven conditions (Table I),\n\
+     'even when the input domain is reduced 32x' (Sec. VI-A). The rSCAN\n\
+     regularization replaces the essential singularity at alpha = 1 with a\n\
+     degree-7 polynomial, which is exactly the kind of reformulation the\n\
+     paper's discussion anticipates will help formal tools."

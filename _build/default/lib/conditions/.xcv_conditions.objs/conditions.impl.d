@@ -1,0 +1,1 @@
+lib/conditions/conditions.ml: Deriv Dft_vars Enhancement Expr Form Hashtbl List Option Registry Simplify String

@@ -1,0 +1,1 @@
+lib/conditions/conditions.mli: Form Registry

@@ -1,0 +1,1 @@
+lib/conditions/domain_spec.ml: Box Dft_vars Interval List Printf Registry String

@@ -1,0 +1,1 @@
+lib/conditions/domain_spec.mli: Box Registry

@@ -1,0 +1,1 @@
+lib/conditions/extra_conditions.ml: Dft_vars Enhancement Expr Form List Registry Simplify String

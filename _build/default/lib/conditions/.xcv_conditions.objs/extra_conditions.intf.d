@@ -1,0 +1,1 @@
+lib/conditions/extra_conditions.mli: Form Registry

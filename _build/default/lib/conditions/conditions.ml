@@ -1,0 +1,99 @@
+type id = Ec1 | Ec2 | Ec3 | Ec4 | Ec5 | Ec6 | Ec7
+
+let all = [ Ec1; Ec2; Ec3; Ec4; Ec5; Ec6; Ec7 ]
+
+let name = function
+  | Ec1 -> "ec1"
+  | Ec2 -> "ec2"
+  | Ec3 -> "ec3"
+  | Ec4 -> "ec4"
+  | Ec5 -> "ec5"
+  | Ec6 -> "ec6"
+  | Ec7 -> "ec7"
+
+let label = function
+  | Ec1 -> "E_c non-positivity"
+  | Ec2 -> "E_c scaling inequality"
+  | Ec3 -> "U_c monotonicity"
+  | Ec4 -> "LO bound"
+  | Ec5 -> "LO extension to E_xc"
+  | Ec6 -> "T_c upper bound"
+  | Ec7 -> "Conjectured T_c upper bound"
+
+let equation = function
+  | Ec1 -> 4
+  | Ec2 -> 5
+  | Ec3 -> 6
+  | Ec4 -> 7
+  | Ec5 -> 8
+  | Ec6 -> 9
+  | Ec7 -> 10
+
+let of_name n =
+  let n = String.lowercase_ascii n in
+  match List.find_opt (fun c -> String.equal (name c) n) all with
+  | Some c -> c
+  | None -> raise Not_found
+
+(* Lieb-Oxford constant, following Pederson & Burke. *)
+let c_lo = 2.27
+
+let applies cond (dfa : Registry.t) =
+  match cond with
+  | Ec4 | Ec5 -> dfa.eps_x <> None && dfa.eps_c <> None
+  | Ec1 | Ec2 | Ec3 | Ec6 | Ec7 -> dfa.eps_c <> None
+
+let applicable dfa = List.filter (fun c -> applies c dfa) all
+
+(* All DFA inputs are nonnegative: rs > 0, s >= 0, alpha >= 0. *)
+let nonneg_vars = [ Dft_vars.rs_name; Dft_vars.s_name; Dft_vars.alpha_name ]
+
+(* Derived quantities are memoized per DFA: several conditions share F_c and
+   its rs-derivatives, and building them is expensive for SCAN. *)
+let fc_cache : (string, Expr.t * Expr.t * Expr.t) Hashtbl.t = Hashtbl.create 8
+
+let fc_parts (dfa : Registry.t) =
+  match Hashtbl.find_opt fc_cache dfa.name with
+  | Some parts -> parts
+  | None ->
+      let eps_c = Option.get dfa.eps_c in
+      let nn = Simplify.with_nonneg nonneg_vars in
+      let f_c = nn (Enhancement.f_of eps_c) in
+      let dfc = nn (Deriv.diff ~wrt:Dft_vars.rs_name f_c) in
+      let d2fc = nn (Deriv.diff ~wrt:Dft_vars.rs_name dfc) in
+      let parts = (f_c, dfc, d2fc) in
+      Hashtbl.add fc_cache dfa.name parts;
+      parts
+
+let local_condition cond (dfa : Registry.t) =
+  if not (applies cond dfa) then None
+  else begin
+    let open Expr in
+    let rs = Dft_vars.rs in
+    let f_c, dfc, d2fc = fc_parts dfa in
+    let expr =
+      match cond with
+      | Ec1 -> f_c
+      | Ec2 -> dfc
+      | Ec3 ->
+          (* d2F/drs2 >= -(2/rs) dF/drs, cleared by rs > 0. *)
+          add (mul rs d2fc) (mul two dfc)
+      | Ec4 ->
+          let f_xc = Enhancement.f_of (Option.get (Registry.eps_xc dfa)) in
+          sub (const c_lo) (add f_xc (mul rs dfc))
+      | Ec5 ->
+          let f_xc = Enhancement.f_of (Option.get (Registry.eps_xc dfa)) in
+          sub (const c_lo) f_xc
+      | Ec6 ->
+          (* dF/drs <= (F(inf) - F)/rs, cleared by rs > 0. *)
+          let fc_inf = Enhancement.f_c_at_infinity f_c in
+          sub (sub fc_inf f_c) (mul rs dfc)
+      | Ec7 ->
+          (* dF/drs <= F/rs, cleared by rs > 0. *)
+          sub f_c (mul rs dfc)
+    in
+    Some (Form.ge (Simplify.with_nonneg nonneg_vars expr))
+  end
+
+let count_pairs dfas =
+  List.fold_left (fun acc dfa -> acc + List.length (applicable dfa)) 0 dfas

@@ -1,0 +1,57 @@
+(** The seven DFT exact conditions of the paper's Section II, as local
+    conditions on the enhancement factors.
+
+    Each exact condition on the global functional [E_xc] has a local
+    sufficient condition on the DFA's enhancement factor; the verifier
+    decides the local condition. The encodings below clear the (strictly
+    positive) [rs] denominators so the solver sees polynomial-in-[1/rs]-free
+    atoms; this is an equivalence on the verification domain [rs > 0]:
+
+    - EC1 [E_c] non-positivity:         [F_c >= 0]                      (Eq. 4)
+    - EC2 [E_c] scaling inequality:     [dF_c/drs >= 0]                 (Eq. 5)
+    - EC3 [U_c(lambda)] monotonicity:   [rs d2F_c/drs2 + 2 dF_c/drs >= 0]
+                                                                        (Eq. 6)
+    - EC4 Lieb-Oxford bound:            [C_LO - F_xc - rs dF_c/drs >= 0]
+                                                                        (Eq. 7)
+    - EC5 LO extension to [E_xc]:       [C_LO - F_xc >= 0]              (Eq. 8)
+    - EC6 [T_c] upper bound:            [F_c(inf) - F_c - rs dF_c/drs >= 0]
+                                                                        (Eq. 9)
+    - EC7 conjectured [T_c] bound:      [F_c - rs dF_c/drs >= 0]        (Eq. 10)
+
+    [F_c(inf)] follows the paper: substitution of [rs = 100]
+    ({!Enhancement.f_c_at_infinity}). All derivatives are computed
+    symbolically ({!Deriv}), as in the paper's XCEncoder. *)
+
+type id = Ec1 | Ec2 | Ec3 | Ec4 | Ec5 | Ec6 | Ec7
+
+(** All seven, in paper order. *)
+val all : id list
+
+(** Short machine name, e.g. ["ec1"]. *)
+val name : id -> string
+
+(** Paper description, e.g. ["E_c non-positivity"]. *)
+val label : id -> string
+
+(** Equation number of the local condition in the paper. *)
+val equation : id -> int
+
+(** [of_name "ec3"] (case-insensitive).
+    @raise Not_found for unknown names. *)
+val of_name : string -> id
+
+(** [applies cond dfa]: EC4/EC5 need both exchange and correlation; the
+    others need correlation. *)
+val applies : id -> Registry.t -> bool
+
+(** [applicable dfa] lists the conditions that apply, in paper order. *)
+val applicable : Registry.t -> id list
+
+(** [local_condition cond dfa] encodes the local condition ψ as a solver
+    atom. [None] when the condition does not apply. The expression is
+    simplified and shares the functional's subterms. *)
+val local_condition : id -> Registry.t -> Form.atom option
+
+(** Number of applicable (DFA, condition) pairs over a list of functionals —
+    the paper's count of 29 over its five DFAs. *)
+val count_pairs : Registry.t list -> int

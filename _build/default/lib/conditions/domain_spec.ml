@@ -1,0 +1,16 @@
+let rs_bounds = (0.0001, 5.0)
+let s_bounds = (0.0, 5.0)
+let alpha_bounds = (0.0, 5.0)
+
+let interval_for v =
+  let lo, hi =
+    if String.equal v Dft_vars.rs_name then rs_bounds
+    else if String.equal v Dft_vars.s_name then s_bounds
+    else if String.equal v Dft_vars.alpha_name then alpha_bounds
+    else invalid_arg (Printf.sprintf "Domain_spec: unknown variable %S" v)
+  in
+  Interval.make lo hi
+
+let box_for_vars vars = Box.make (List.map (fun v -> (v, interval_for v)) vars)
+
+let box_for dfa = box_for_vars (Registry.variables dfa)

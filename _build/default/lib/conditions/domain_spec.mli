@@ -1,0 +1,20 @@
+(** Verification input domains (Equation 11 of the paper).
+
+    The bounds follow Pederson & Burke: [rs in [0.0001, 5]] and
+    [s in [0, 5]]; for meta-GGAs the iso-orbital indicator ranges over
+    [alpha in [0, 5]] (alpha >= 0 by construction; 5 covers the
+    density-overlap regimes PB sample). LDA functionals use the [rs]
+    interval only. *)
+
+val rs_bounds : float * float
+val s_bounds : float * float
+val alpha_bounds : float * float
+
+(** [box_for dfa] is the full input domain of a functional as a box over its
+    canonical variables. *)
+val box_for : Registry.t -> Box.t
+
+(** [box_for_vars vars] builds the domain box for an explicit variable list
+    (used by ablations that restrict dimensions).
+    @raise Invalid_argument on an unknown variable name. *)
+val box_for_vars : string list -> Box.t

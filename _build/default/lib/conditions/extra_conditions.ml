@@ -1,0 +1,37 @@
+type id = X_nonpos | X_lo
+
+let all = [ X_nonpos; X_lo ]
+
+let name = function X_nonpos -> "x1" | X_lo -> "x2"
+
+let label = function
+  | X_nonpos -> "E_x non-positivity"
+  | X_lo -> "Exchange LO bound (F_x <= 1.804)"
+
+let c_xlo = 1.804
+
+let of_name n =
+  let n = String.lowercase_ascii n in
+  match List.find_opt (fun c -> String.equal (name c) n) all with
+  | Some c -> c
+  | None -> raise Not_found
+
+let applies _cond (dfa : Registry.t) = dfa.Registry.eps_x <> None
+
+let nonneg_vars =
+  [ Dft_vars.rs_name; Dft_vars.s_name; Dft_vars.alpha_name ]
+
+let local_condition cond (dfa : Registry.t) =
+  match dfa.Registry.eps_x with
+  | None -> None
+  | Some eps_x ->
+      let f_x = Enhancement.f_of eps_x in
+      let expr =
+        match cond with
+        | X_nonpos -> f_x
+        | X_lo -> Expr.sub (Expr.const c_xlo) f_x
+      in
+      Some (Form.ge (Simplify.with_nonneg nonneg_vars expr))
+
+let exchange_functionals () =
+  List.filter (fun (f : Registry.t) -> f.Registry.eps_x <> None) Registry.all

@@ -1,0 +1,38 @@
+(** Extension conditions beyond the paper's seven — the Section VI-B
+    direction ("the ultimate goal ... is to be able to analyze all the 500+
+    functionals in LibXC for all known DFT exact conditions").
+
+    Two exchange-side exact conditions with simple local forms:
+
+    - {b X1, exchange non-positivity}: the exact exchange energy satisfies
+      [E_x[n] <= 0]; locally [eps_x <= 0], i.e. [F_x >= 0].
+    - {b X2, exchange Lieb-Oxford bound}: the tight exchange-only form of
+      the Lieb-Oxford inequality used in PBE's construction,
+      [E_x >= 1.804 * E_x^LDA], locally [F_x <= 1.804]. Non-empirical GGAs
+      (PBE, SCAN, AM05) are built to respect it; the empirical B88 exchange
+      grows as [F_x ~ x / (6 log x)] and must violate it at large reduced
+      gradients — a textbook defect this module's verifier run catches with
+      a certified counterexample.
+
+    These apply to any registered functional with an exchange part (PBE,
+    SCAN, AM05 x+c, B88, BLYP, rSCAN). *)
+
+type id = X_nonpos | X_lo
+
+val all : id list
+val name : id -> string
+val label : id -> string
+
+(** The exchange Lieb-Oxford constant [1.804] used by X2. *)
+val c_xlo : float
+
+(** @raise Not_found on unknown names. *)
+val of_name : string -> id
+
+val applies : id -> Registry.t -> bool
+
+(** [local_condition cond dfa] — [None] when the DFA has no exchange part. *)
+val local_condition : id -> Registry.t -> Form.atom option
+
+(** Functionals from {!Registry.all} with an exchange part. *)
+val exchange_functionals : unit -> Registry.t list

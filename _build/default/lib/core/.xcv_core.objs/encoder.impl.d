@@ -1,0 +1,1 @@
+lib/core/encoder.ml: Box Conditions Domain_spec Expr Form List Registry

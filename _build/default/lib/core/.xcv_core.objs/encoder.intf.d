@@ -1,0 +1,1 @@
+lib/core/encoder.mli: Box Conditions Form Registry

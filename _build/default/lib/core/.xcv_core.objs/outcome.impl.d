@@ -1,0 +1,1 @@
+lib/core/outcome.ml: Array Box Format Interval List String

@@ -1,0 +1,1 @@
+lib/core/render.ml: Array Box Buffer List Mesh Outcome Pbcheck Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Box Buffer Conditions List Mesh Outcome Pbcheck Registry String

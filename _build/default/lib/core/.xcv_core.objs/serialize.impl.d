@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Box Buffer Char Format Fun Interval List Outcome Parser Printf String

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Box Conditions Encoder Eval Float Form Icp List Option Outcome Pool Registry Taylor Unix

@@ -1,0 +1,1 @@
+lib/core/witness.ml: Encoder Eval Float Form Format Ieval Interval List Outcome

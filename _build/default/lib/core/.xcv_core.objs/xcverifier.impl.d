@@ -1,0 +1,1 @@
+lib/core/xcverifier.ml: Conditions Outcome Pbcheck Printf Registry Render Report Verify

@@ -1,0 +1,1 @@
+lib/core/xcverifier.mli: Outcome Pbcheck Verify

@@ -1,0 +1,28 @@
+type problem = {
+  dfa : Registry.t;
+  condition : Conditions.id;
+  domain : Box.t;
+  psi : Form.atom;
+  negated : Form.t;
+}
+
+let encode dfa condition =
+  match Conditions.local_condition condition dfa with
+  | None -> None
+  | Some psi ->
+      Some
+        {
+          dfa;
+          condition;
+          domain = Domain_spec.box_for dfa;
+          psi;
+          negated = [ Form.negate_atom psi ];
+        }
+
+let encode_all dfas =
+  List.concat_map
+    (fun dfa ->
+      List.filter_map (encode dfa) Conditions.all)
+    dfas
+
+let operation_count p = Expr.tree_size p.psi.Form.expr

@@ -1,0 +1,29 @@
+(** XCEncoder (paper Section III-A): turn a (DFA, exact condition) pair into
+    the solver problem of Equation 12.
+
+    The paper's pipeline — Maple source, CodeGeneration to Python, symbolic
+    execution to a dReal expression, SymPy for derivatives — collapses here
+    to: look the functional's symbolic form up in {!Registry}, build the
+    local condition with {!Conditions.local_condition} (derivatives via
+    {!Deriv}), and pair it with the input-domain box of {!Domain_spec}. The
+    solver decides [domain /\ not psi]; UNSAT means the condition holds. *)
+
+type problem = {
+  dfa : Registry.t;
+  condition : Conditions.id;
+  domain : Box.t;
+  psi : Form.atom;  (** the local condition, [expr >= 0] *)
+  negated : Form.t;  (** [not psi] — what the solver refutes *)
+}
+
+(** [encode dfa cond] builds the problem; [None] when the condition does not
+    apply to the DFA (Table I's "-" entries). *)
+val encode : Registry.t -> Conditions.id -> problem option
+
+(** All applicable problems for a list of functionals — the paper's 29 pairs
+    for {!Registry.paper_five}. *)
+val encode_all : Registry.t list -> problem list
+
+(** Operation count (tree size) of the encoded [psi] — the paper's measure
+    of functional complexity ("over 300 operations" for PBE correlation). *)
+val operation_count : problem -> int

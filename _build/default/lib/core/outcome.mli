@@ -1,0 +1,66 @@
+(** Verification outcomes and region bookkeeping for Algorithm 1.
+
+    The verifier emits a {e paint log}: a pre-order sequence of
+    (box, status) pairs. A parent box's status is recorded before its
+    children's, so re-painting the log in order yields the final region map
+    — children refine (overwrite) the parts of a parent that further
+    splitting resolved, exactly as the paper's Figures 1 and 2 are drawn. *)
+
+type status =
+  | Verified  (** solver proved the condition on the box *)
+  | Counterexample of (string * float) list
+      (** a model that passed the [valid(x)] float re-check *)
+  | Inconclusive of (string * float) list
+      (** δ-sat model that failed [valid(x)] — the paper's yellow regions *)
+  | Timeout  (** solver fuel exhausted on the box *)
+
+type region = { box : Box.t; status : status; depth : int }
+
+type t = {
+  dfa : string;
+  condition : string;
+  domain : Box.t;
+  regions : region list;  (** pre-order paint log *)
+  solver_calls : int;
+  total_expansions : int;  (** summed solver fuel consumed *)
+  elapsed : float;  (** wall-clock seconds *)
+}
+
+(** Table I classification symbols. *)
+type classification =
+  | Full_verified  (** ✓ — verified on the entire domain *)
+  | Partial_verified  (** ✓* — partly verified, rest timeout/inconclusive *)
+  | Unknown  (** ? — timeout/inconclusive everywhere *)
+  | Refuted  (** ✗ — a counterexample was found *)
+
+(** {1 Rasterization} *)
+
+(** [rasterize t ~xdim ~ydim ~nx ~ny] paints the region log onto an
+    [nx * ny] cell grid over the two named dimensions (cells without any
+    painted status — possible only for a pair that never resolved — default
+    to {!Timeout}). Row index 0 is the {e low} end of [ydim]. For boxes of
+    more than two dimensions the projection paints a cell with the status of
+    the last region covering the cell centre in the projected plane. *)
+val rasterize :
+  t -> xdim:string -> ydim:string -> nx:int -> ny:int -> status array array
+
+(** Fractions of the domain (by rasterized area) in each status. *)
+type coverage = {
+  verified : float;
+  counterexample : float;
+  inconclusive : float;
+  timeout : float;
+}
+
+val coverage : ?resolution:int -> t -> coverage
+
+(** [classify t] derives the Table I symbol: any counterexample region means
+    {!Refuted}; otherwise full/partial/none verified coverage. *)
+val classify : ?resolution:int -> t -> classification
+
+(** First counterexample model of the log, if any. *)
+val first_counterexample : t -> (string * float) list option
+
+val classification_symbol : classification -> string
+val status_name : status -> string
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,85 @@
+let status_char = function
+  | Outcome.Verified -> '.'
+  | Outcome.Counterexample _ -> '#'
+  | Outcome.Inconclusive _ -> 'o'
+  | Outcome.Timeout -> 'T'
+
+let frame ~xlabel ~ylabel rows =
+  (* rows.(0) is the top line. *)
+  let buf = Buffer.create 1024 in
+  let width = String.length rows.(0) in
+  Buffer.add_string buf (Printf.sprintf "  %s ^\n" ylabel);
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf "    |";
+      Buffer.add_string buf row;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf "    +";
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_string buf (Printf.sprintf "> %s\n" xlabel);
+  Buffer.contents buf
+
+let outcome_map ?(nx = 48) ?(ny = 16) (t : Outcome.t) =
+  match Box.vars t.domain with
+  | [ only ] ->
+      let grid = Outcome.rasterize t ~xdim:only ~ydim:only ~nx ~ny:1 in
+      let row = String.init nx (fun j -> status_char grid.(0).(j)) in
+      frame ~xlabel:only ~ylabel:"" [| row |]
+  | x :: y :: _ ->
+      let grid = Outcome.rasterize t ~xdim:x ~ydim:y ~nx ~ny in
+      let rows =
+        Array.init ny (fun r ->
+            (* row 0 of the frame is the top = high y *)
+            let i = ny - 1 - r in
+            String.init nx (fun j -> status_char grid.(i).(j)))
+      in
+      frame ~xlabel:x ~ylabel:y rows
+  | [] -> assert false
+
+let pb_map ?(nx = 48) ?(ny = 16) (r : Pbcheck.result) =
+  let axes = r.Pbcheck.mesh.Mesh.axes in
+  match axes with
+  | [ (xname, xs) ] ->
+      let n = Array.length xs in
+      let row =
+        String.init nx (fun j ->
+            let i = j * (n - 1) / (Stdlib.max 1 (nx - 1)) in
+            if r.Pbcheck.satisfied_mask.(i) then '.' else '#')
+      in
+      frame ~xlabel:xname ~ylabel:"" [| row |]
+  | (xname, xs) :: (yname, ys) :: rest ->
+      let n_x = Array.length xs and n_y = Array.length ys in
+      let tail = List.fold_left (fun acc (_, a) -> acc * Array.length a) 1 rest in
+      (* Project onto the first two axes: violated if any trailing
+         coordinate violates. *)
+      let cell ix iy =
+        let base = ((ix * n_y) + iy) * tail in
+        let rec any k =
+          k < tail && ((not r.Pbcheck.satisfied_mask.(base + k)) || any (k + 1))
+        in
+        not (any 0)
+      in
+      let rows =
+        Array.init ny (fun rr ->
+            let iy = (ny - 1 - rr) * (n_y - 1) / (Stdlib.max 1 (ny - 1)) in
+            String.init nx (fun j ->
+                let ix = j * (n_x - 1) / (Stdlib.max 1 (nx - 1)) in
+                if cell ix iy then '.' else '#'))
+      in
+      frame ~xlabel:xname ~ylabel:yname rows
+  | [] -> assert false
+
+let figure ~title ~pb outcome =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "=== %s ===\n" title);
+  (match pb with
+  | Some r ->
+      Buffer.add_string buf "--- PB grid search (# violation, . pass) ---\n";
+      Buffer.add_string buf (pb_map r)
+  | None -> ());
+  Buffer.add_string buf
+    "--- XCVerifier (. verified, # counterexample, o inconclusive, T \
+     timeout) ---\n";
+  Buffer.add_string buf (outcome_map outcome);
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** ASCII rendering of verification region maps — the textual analogue of
+    the paper's Figures 1 and 2.
+
+    Cell legend (XCVerifier maps, bottom rows of the figures):
+    - ['.'] verified to satisfy the condition,
+    - ['#'] region containing a counterexample,
+    - ['o'] inconclusive (spurious δ-sat model),
+    - ['T'] solver timeout.
+
+    PB maps (top rows) use ['#'] for grid points violating the condition and
+    ['.'] for points satisfying it. The vertical axis is [s] (or the second
+    variable), increasing upward; the horizontal axis is [rs]. *)
+
+(** [outcome_map ?nx ?ny outcome] renders an XCVerifier outcome. 1-D (LDA)
+    outcomes render as a single row over [rs]. *)
+val outcome_map : ?nx:int -> ?ny:int -> Outcome.t -> string
+
+(** [pb_map ?nx ?ny result] renders a PB grid result (projected onto the
+    first two axes for meta-GGAs: a cell is ['#'] if any alpha violates). *)
+val pb_map : ?nx:int -> ?ny:int -> Pbcheck.result -> string
+
+(** [side_by_side top bottom] stacks two maps with headers, mirroring the
+    paper's figure layout (PB above, XCVerifier below). *)
+val figure : title:string -> pb:Pbcheck.result option -> Outcome.t -> string

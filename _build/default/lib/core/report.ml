@@ -1,0 +1,127 @@
+type consistency = Consistent | Not_inconsistent | Undecidable | Inconsistent
+
+let consistency_symbol = function
+  | Consistent -> "C"
+  | Not_inconsistent -> "C*"
+  | Undecidable -> "?"
+  | Inconsistent -> "!"
+
+(* Final painted status at a point: the last region of the pre-order log
+   containing it. *)
+let final_status (t : Outcome.t) point =
+  List.fold_left
+    (fun acc (r : Outcome.region) ->
+      if Box.mem point r.box then Some r.status else acc)
+    None t.regions
+
+let overlap_fraction (t : Outcome.t) (pb : Pbcheck.result) =
+  let viol = ref [] and nv = ref 0 in
+  Array.iteri
+    (fun i ok ->
+      if not ok then begin
+        incr nv;
+        (* Subsample: containment checks over the full 10^4-point mesh are
+           wasteful; 2000 violating points give the fraction to +-2%. *)
+        if !nv mod 5 = 1 || !nv <= 2000 then
+          viol := Mesh.point pb.Pbcheck.mesh i :: !viol
+      end)
+    pb.Pbcheck.satisfied_mask;
+  match !viol with
+  | [] -> 1.0
+  | points ->
+      let hits =
+        List.fold_left
+          (fun acc p ->
+            match final_status t p with
+            | Some (Outcome.Counterexample _) -> acc + 1
+            | Some (Outcome.Inconclusive _ | Outcome.Timeout) -> acc + 1
+            | Some Outcome.Verified | None -> acc)
+          0 points
+      in
+      float_of_int hits /. float_of_int (List.length points)
+
+let consistency_of (t : Outcome.t) (pb : Pbcheck.result) =
+  match Outcome.classify t with
+  | Outcome.Unknown -> (Undecidable, 0.0)
+  | Outcome.Refuted ->
+      if pb.Pbcheck.satisfied then (Inconsistent, 0.0)
+      else (Consistent, overlap_fraction t pb)
+  | Outcome.Full_verified | Outcome.Partial_verified ->
+      if pb.Pbcheck.satisfied then (Not_inconsistent, 1.0)
+      else
+        (* PB sees violations where we verified: inconsistent unless the
+           violations fall in unverified (timeout/inconclusive) regions. *)
+        let f = overlap_fraction t pb in
+        if f > 0.99 then (Not_inconsistent, f) else (Inconsistent, f)
+
+(* ------------------------------------------------------------------ *)
+(* Table formatting                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let dfa_columns = List.map (fun f -> f.Registry.label) Registry.paper_five
+
+let grid_of_cells lookup =
+  let buf = Buffer.create 2048 in
+  let col_width = 9 in
+  let pad s w =
+    let n = String.length s in
+    if n >= w then s else s ^ String.make (w - n) ' '
+  in
+  Buffer.add_string buf (pad "Local condition" 32);
+  List.iter (fun d -> Buffer.add_string buf (pad d col_width)) dfa_columns;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (32 + (col_width * List.length dfa_columns)) '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun cond ->
+      Buffer.add_string buf (pad (Conditions.label cond) 32);
+      List.iter
+        (fun dfa -> Buffer.add_string buf (pad (lookup cond dfa) col_width))
+        dfa_columns;
+      Buffer.add_char buf '\n')
+    Conditions.all;
+  Buffer.contents buf
+
+let find_outcome outcomes cond dfa_label =
+  List.find_opt
+    (fun (t : Outcome.t) ->
+      String.equal t.dfa dfa_label
+      && String.equal t.condition (Conditions.name cond))
+    outcomes
+
+let table1 outcomes =
+  "Table I: verifying local conditions with XCVerifier\n"
+  ^ "(OK verified; OK* partially verified; ? timeout/inconclusive "
+  ^ "everywhere; X counterexample; - not applicable)\n\n"
+  ^ grid_of_cells (fun cond dfa ->
+        match find_outcome outcomes cond dfa with
+        | Some t -> Outcome.classification_symbol (Outcome.classify t)
+        | None -> "-")
+
+let find_pb pb_results cond dfa_label =
+  List.find_opt
+    (fun (r : Pbcheck.result) ->
+      String.equal r.Pbcheck.dfa dfa_label && r.Pbcheck.condition = cond)
+    pb_results
+
+let table2 outcomes pb_results =
+  "Table II: consistency of XCVerifier and the PB grid baseline\n"
+  ^ "(C consistent counterexamples; C* neither finds counterexamples; "
+  ^ "? XCVerifier timed out; ! inconsistent; - not applicable)\n\n"
+  ^ grid_of_cells (fun cond dfa ->
+        match find_outcome outcomes cond dfa, find_pb pb_results cond dfa with
+        | Some t, Some pb -> consistency_symbol (fst (consistency_of t pb))
+        | _ -> "-")
+
+let paper_table1 =
+  let row cond cells = List.map2 (fun d c -> ((d, cond), c)) dfa_columns cells in
+  List.concat
+    [
+      row "ec1" [ "OK*"; "?"; "X"; "OK"; "OK" ];
+      row "ec2" [ "OK*"; "?"; "X"; "OK*"; "OK" ];
+      row "ec3" [ "?"; "?"; "X"; "?"; "OK" ];
+      row "ec6" [ "OK*"; "?"; "X"; "OK"; "OK" ];
+      row "ec7" [ "X"; "?"; "X"; "OK*"; "OK*" ];
+      row "ec4" [ "OK*"; "?"; "-"; "-"; "-" ];
+      row "ec5" [ "OK"; "?"; "-"; "-"; "-" ];
+    ]

@@ -1,0 +1,31 @@
+(** Generation of the paper's two results tables.
+
+    Table I: per (DFA, condition) verdict of XCVerifier — ✓ (here [OK]),
+    ✓* ([OK*]), ? , ✗ ([X]) or – (not applicable).
+
+    Table II: consistency between XCVerifier and the Pederson-Burke grid
+    baseline — ⊙ (here [C], both find counterexamples, in overlapping
+    regions), ⊙* ([C*], neither finds counterexamples), ? (XCVerifier timed
+    out everywhere), [!] (inconsistent — should not occur). *)
+
+(** Consistency symbol of Table II. *)
+type consistency = Consistent | Not_inconsistent | Undecidable | Inconsistent
+
+(** [consistency_of outcome pb] derives the Table II cell for one pair,
+    along with the fraction of PB-violating grid points that fall inside
+    XCVerifier counterexample regions (the "similar regions" check; [1.0]
+    when PB finds no violations). *)
+val consistency_of : Outcome.t -> Pbcheck.result -> consistency * float
+
+val consistency_symbol : consistency -> string
+
+(** [table1 outcomes] formats Table I from a campaign's outcomes (missing
+    pairs print as [-]). *)
+val table1 : Outcome.t list -> string
+
+(** [table2 outcomes pb_results] formats Table II. *)
+val table2 : Outcome.t list -> Pbcheck.result list -> string
+
+(** Expected Table I of the paper, for EXPERIMENTS.md comparison: maps
+    (dfa label, condition name) to the paper's symbol. *)
+val paper_table1 : ((string * string) * string) list

@@ -1,0 +1,187 @@
+module S = Parser.Sexp
+
+let format_version = 1
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parser.Parse_error s)) fmt
+
+(* Labels may contain spaces ("VWN RPA") or parentheses, which would break
+   atom lexing; percent-encode everything outside a safe set. *)
+let encode s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '-' | '+' | '/' ->
+          Buffer.add_char buf c
+      | _ -> Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let decode s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '%' && i + 2 < n then begin
+        Buffer.add_char buf
+          (Char.chr (int_of_string ("0x" ^ String.sub s (i + 1) 2)));
+        go (i + 3)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+(* Hex float atoms round-trip bit-exactly. *)
+let atom_of_float f = S.Atom (Printf.sprintf "%h" f)
+
+let float_of_atom = function
+  | S.Atom a -> (
+      match float_of_string_opt a with
+      | Some f -> f
+      | None -> fail "expected float, got %S" a)
+  | S.List _ -> fail "expected float atom"
+
+let sexp_of_interval name iv =
+  S.List [ S.Atom name; atom_of_float (Interval.inf iv); atom_of_float (Interval.sup iv) ]
+
+let sexp_of_box box =
+  S.List
+    (S.Atom "box"
+    :: List.map (fun v -> sexp_of_interval v (Box.get box v)) (Box.vars box))
+
+let box_of_sexp = function
+  | S.List (S.Atom "box" :: dims) ->
+      Box.make
+        (List.map
+           (function
+             | S.List [ S.Atom v; lo; hi ] ->
+                 (v, Interval.make (float_of_atom lo) (float_of_atom hi))
+             | _ -> fail "malformed box dimension")
+           dims)
+  | _ -> fail "expected (box ...)"
+
+let sexp_of_model model =
+  S.List
+    (S.Atom "model"
+    :: List.map
+         (fun (v, x) -> S.List [ S.Atom v; atom_of_float x ])
+         model)
+
+let model_of_sexp = function
+  | S.List (S.Atom "model" :: bindings) ->
+      List.map
+        (function
+          | S.List [ S.Atom v; x ] -> (v, float_of_atom x)
+          | _ -> fail "malformed model binding")
+        bindings
+  | _ -> fail "expected (model ...)"
+
+let sexp_of_status = function
+  | Outcome.Verified -> S.List [ S.Atom "verified" ]
+  | Outcome.Timeout -> S.List [ S.Atom "timeout" ]
+  | Outcome.Counterexample m -> S.List [ S.Atom "counterexample"; sexp_of_model m ]
+  | Outcome.Inconclusive m -> S.List [ S.Atom "inconclusive"; sexp_of_model m ]
+
+let status_of_sexp = function
+  | S.List [ S.Atom "verified" ] -> Outcome.Verified
+  | S.List [ S.Atom "timeout" ] -> Outcome.Timeout
+  | S.List [ S.Atom "counterexample"; m ] -> Outcome.Counterexample (model_of_sexp m)
+  | S.List [ S.Atom "inconclusive"; m ] -> Outcome.Inconclusive (model_of_sexp m)
+  | _ -> fail "malformed status"
+
+let sexp_of_region (r : Outcome.region) =
+  S.List
+    [
+      S.Atom "region";
+      S.Atom (string_of_int r.Outcome.depth);
+      sexp_of_status r.Outcome.status;
+      sexp_of_box r.Outcome.box;
+    ]
+
+let region_of_sexp = function
+  | S.List [ S.Atom "region"; S.Atom depth; status; box ] ->
+      {
+        Outcome.depth = int_of_string depth;
+        status = status_of_sexp status;
+        box = box_of_sexp box;
+      }
+  | _ -> fail "malformed region"
+
+let sexp_of_outcome (o : Outcome.t) =
+  S.List
+    [
+      S.Atom "outcome";
+      S.Atom (string_of_int format_version);
+      S.List [ S.Atom "dfa"; S.Atom (encode o.Outcome.dfa) ];
+      S.List [ S.Atom "condition"; S.Atom (encode o.Outcome.condition) ];
+      sexp_of_box o.Outcome.domain;
+      S.List
+        [
+          S.Atom "stats";
+          S.Atom (string_of_int o.Outcome.solver_calls);
+          S.Atom (string_of_int o.Outcome.total_expansions);
+          atom_of_float o.Outcome.elapsed;
+        ];
+      S.List (S.Atom "regions" :: List.map sexp_of_region o.Outcome.regions);
+    ]
+
+let outcome_of_sexp = function
+  | S.List
+      [
+        S.Atom "outcome"; S.Atom version;
+        S.List [ S.Atom "dfa"; S.Atom dfa ];
+        S.List [ S.Atom "condition"; S.Atom condition ];
+        domain;
+        S.List [ S.Atom "stats"; S.Atom calls; S.Atom expansions; elapsed ];
+        S.List (S.Atom "regions" :: regions);
+      ] ->
+      if int_of_string version <> format_version then
+        fail "unsupported outcome format version %s" version;
+      {
+        Outcome.dfa = decode dfa;
+        condition = decode condition;
+        domain = box_of_sexp domain;
+        regions = List.map region_of_sexp regions;
+        solver_calls = int_of_string calls;
+        total_expansions = int_of_string expansions;
+        elapsed = float_of_atom elapsed;
+      }
+  | _ -> fail "malformed outcome"
+
+let to_string o =
+  let buf = Buffer.create 4096 in
+  S.print buf (sexp_of_outcome o);
+  Buffer.contents buf
+
+let of_string s = outcome_of_sexp (S.parse s)
+
+let save path outcomes =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun o ->
+          output_string oc (to_string o);
+          output_char oc '\n')
+        outcomes)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line ->
+            let acc =
+              if String.trim line = "" then acc else of_string line :: acc
+            in
+            go acc
+        | exception End_of_file -> List.rev acc
+      in
+      go [])

@@ -1,0 +1,24 @@
+(** Persistence of verification outcomes.
+
+    A full campaign is expensive; CI and analysis workflows want to archive
+    the verdicts and re-render tables/maps without re-solving. Outcomes are
+    written as s-expressions with hex float literals ([%h]) so every bound
+    and model coordinate round-trips bit-exactly.
+
+    The format is versioned; {!load} rejects unknown versions rather than
+    guessing. *)
+
+val format_version : int
+
+(** [to_string outcome] serializes one outcome. *)
+val to_string : Outcome.t -> string
+
+(** [of_string s] parses a serialized outcome.
+    @raise Parser.Parse_error on malformed input or version mismatch. *)
+val of_string : string -> Outcome.t
+
+(** [save path outcomes] / [load path] — a campaign archive (one
+    s-expression per line). *)
+val save : string -> Outcome.t list -> unit
+
+val load : string -> Outcome.t list

@@ -1,0 +1,130 @@
+type config = {
+  threshold : float;
+  solver : Icp.config;
+  deadline_seconds : float option;
+  workers : int;
+  use_taylor : bool;
+}
+
+let default_config =
+  {
+    threshold = 0.05;
+    solver =
+      { Icp.default_config with fuel = 600; delta = 1e-4; contractor_rounds = 3 };
+    deadline_seconds = None;
+    workers = 1;
+    use_taylor = false;
+  }
+
+let quick_config =
+  {
+    threshold = 0.15625;
+    solver =
+      { Icp.default_config with fuel = 250; delta = 1e-3; contractor_rounds = 2 };
+    deadline_seconds = Some 30.0;
+    workers = 1;
+    use_taylor = false;
+  }
+
+(* The paper's valid(x): plug the model back into the *negated* condition in
+   float arithmetic; a true counterexample violates psi, i.e. satisfies
+   not psi. *)
+let valid_model negated model = Form.all_hold_at model negated
+
+let run_custom ?(config = default_config) ~dfa_label ~condition_label ~domain
+    ~(psi : Form.atom) () =
+  let negated = [ Form.negate_atom psi ] in
+  let contractors =
+    if config.use_taylor then
+      List.map (fun a -> Taylor.contractor (Taylor.prepare a)) negated
+    else []
+  in
+  let started = Unix.gettimeofday () in
+  let deadline =
+    Option.map (fun s -> started +. s) config.deadline_seconds
+  in
+  let past_deadline () =
+    match deadline with
+    | Some d -> Unix.gettimeofday () > d
+    | None -> false
+  in
+  let solver_calls = ref 0 and total_expansions = ref 0 in
+  (* Returns the pre-order paint log of the subtree rooted at [box]. *)
+  let rec go box depth =
+    if Box.max_width box < config.threshold then []
+    else if past_deadline () then
+      [ { Outcome.box; status = Outcome.Timeout; depth } ]
+    else begin
+      incr solver_calls;
+      let verdict, stats = Icp.solve ~contractors config.solver box negated in
+      total_expansions := !total_expansions + stats.Icp.expansions;
+      match verdict with
+      | Icp.Unsat -> [ { Outcome.box; status = Outcome.Verified; depth } ]
+      | Icp.Sat { model; _ } ->
+          let status =
+            if valid_model negated model then Outcome.Counterexample model
+            else Outcome.Inconclusive model
+          in
+          { Outcome.box; status; depth } :: recurse box depth
+      | Icp.Timeout ->
+          { Outcome.box; status = Outcome.Timeout; depth } :: recurse box depth
+    end
+  and recurse box depth =
+    let children = Box.split_all box in
+    (* Violation-first ordering: visit children whose midpoint comes closest
+       to satisfying (not psi) first. Pure search heuristic — every child is
+       still visited — but it reaches small counterexample pockets (e.g. the
+       LYP T_c-bound corner at rs > 4.8, s > 2.4) long before the deadline. *)
+    let children =
+      let margin c =
+        (* negated is a single atom "expr rel 0" with rel in {Lt0, Gt0};
+           smaller psi-margin = more violating. *)
+        match negated with
+        | [ a ] ->
+            let v = Eval.eval (Box.midpoint c) a.Form.expr in
+            if Float.is_nan v then Float.infinity
+            else (
+              match a.Form.rel with
+              | Form.Ge0 | Form.Gt0 -> -.v
+              | Form.Le0 | Form.Lt0 | Form.Eq0 -> v)
+        | _ -> 0.0
+      in
+      List.stable_sort
+        (fun c1 c2 -> Float.compare (margin c1) (margin c2))
+        children
+    in
+    if depth = 0 && config.workers > 1 then
+      List.concat (Pool.map ~workers:config.workers (fun c -> go c 1) children)
+    else List.concat_map (fun c -> go c (depth + 1)) children
+  in
+  let regions = go domain 0 in
+  {
+    Outcome.dfa = dfa_label;
+    condition = condition_label;
+    domain;
+    regions;
+    solver_calls = !solver_calls;
+    total_expansions = !total_expansions;
+    elapsed = Unix.gettimeofday () -. started;
+  }
+
+let run ?config (p : Encoder.problem) =
+  run_custom ?config ~dfa_label:p.Encoder.dfa.Registry.label
+    ~condition_label:(Conditions.name p.Encoder.condition)
+    ~domain:p.Encoder.domain ~psi:p.Encoder.psi ()
+
+let run_pair ?config dfa cond =
+  Option.map (run ?config) (Encoder.encode dfa cond)
+
+let campaign ?config dfas =
+  List.concat_map
+    (fun dfa ->
+      List.filter_map (fun cond -> run_pair ?config dfa cond) Conditions.all)
+    dfas
+
+let campaign_parallel ?config ~workers dfas =
+  (* Expressions must be hash-consed on the main domain (the cons table is
+     unsynchronized); encode everything first, then fan the construction-free
+     solver runs out over the pool. *)
+  let problems = Encoder.encode_all dfas in
+  Pool.map ~workers (fun p -> run ?config p) problems

@@ -1,0 +1,65 @@
+(** Algorithm 1 of the paper: recursive domain-splitting verification.
+
+    For a box [D] and encoded condition [psi]:
+
+    + if [max_width D < t] — below the splitting threshold — return;
+    + run the δ-complete solver on [D /\ not psi];
+    + UNSAT: record [D] as {e verified} and return;
+    + SAT with model [x]: re-check [x] in float arithmetic ([valid(x)]);
+      record a {e counterexample} (valid) or {e inconclusive} (spurious
+      δ-sat model);
+    + timeout: record a {e timeout};
+    + in the SAT and timeout cases, split every dimension of [D] in two and
+      recurse on each child, isolating the violating subregions.
+
+    Differences from the paper's setup, by necessity of substrate: the
+    per-call two-hour dReal limit becomes a deterministic fuel budget
+    ([solver.fuel] box expansions per call), and an optional global
+    wall-clock deadline stops the recursion early (remaining boxes are
+    recorded as timeouts). *)
+
+type config = {
+  threshold : float;  (** the paper's [t]; default 0.05 *)
+  solver : Icp.config;
+  deadline_seconds : float option;
+      (** global wall budget for one (DFA, condition) pair *)
+  workers : int;  (** parallel workers for the top-level split *)
+  use_taylor : bool;
+      (** add the mean-value-form contractor ({!Taylor}) to the solver's
+          contraction pipeline; helps on smooth conditions once boxes are
+          small, costs one symbolic gradient per pair up front *)
+}
+
+val default_config : config
+
+(** A quick preset for demos and benches: coarser threshold, smaller fuel. *)
+val quick_config : config
+
+(** [run ~config problem] executes Algorithm 1 and returns the full outcome
+    (paint log + statistics). *)
+val run : ?config:config -> Encoder.problem -> Outcome.t
+
+(** [run_custom ~dfa_label ~condition_label ~domain ~psi ()] runs
+    Algorithm 1 on an arbitrary local condition [psi] (an [expr >= 0]-style
+    atom) over an arbitrary box — the entry point for conditions outside the
+    registry pipeline, e.g. spin-resolved slices or user-supplied
+    inequalities from the CLI. Labels are only used in the outcome record. *)
+val run_custom :
+  ?config:config -> dfa_label:string -> condition_label:string ->
+  domain:Box.t -> psi:Form.atom -> unit -> Outcome.t
+
+(** [run_pair ~config dfa cond] encodes and runs; [None] if the condition
+    does not apply. *)
+val run_pair :
+  ?config:config -> Registry.t -> Conditions.id -> Outcome.t option
+
+(** [campaign ~config dfas] runs every applicable pair (Table I's rows x
+    columns), sequentially per pair. *)
+val campaign : ?config:config -> Registry.t list -> Outcome.t list
+
+(** [campaign_parallel ~config ~workers dfas] — as {!campaign}, but fanned
+    out over a {!Pool} of domains. All formulas are encoded on the calling
+    domain first (expression hash-consing is not thread-safe); the solver
+    itself never builds expressions, so the parallel runs are safe. *)
+val campaign_parallel :
+  ?config:config -> workers:int -> Registry.t list -> Outcome.t list

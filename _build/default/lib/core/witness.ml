@@ -1,0 +1,65 @@
+type strength = Certified | Float_only
+
+type witness = {
+  point : (string * float) list;
+  psi_value : float;
+  enclosure : Interval.t;
+  strength : strength;
+}
+
+type t = { dfa : string; condition : string; witnesses : witness list }
+
+let witness_of psi_expr point =
+  let v = Eval.eval point psi_expr in
+  if Float.is_nan v || v >= 0.0 then None
+  else begin
+    let env = List.map (fun (name, x) -> (name, Interval.point x)) point in
+    let enclosure = Ieval.eval env psi_expr in
+    let strength =
+      if Interval.certainly_lt enclosure 0.0 && not (Interval.is_empty enclosure)
+      then Certified
+      else Float_only
+    in
+    Some { point; psi_value = v; enclosure; strength }
+  end
+
+let extract (p : Encoder.problem) (o : Outcome.t) =
+  let dropped = ref 0 in
+  let witnesses =
+    List.filter_map
+      (fun (r : Outcome.region) ->
+        match r.Outcome.status with
+        | Outcome.Counterexample model -> (
+            match witness_of p.Encoder.psi.Form.expr model with
+            | Some w -> Some w
+            | None ->
+                incr dropped;
+                None)
+        | Outcome.Verified | Outcome.Inconclusive _ | Outcome.Timeout -> None)
+      o.Outcome.regions
+  in
+  ( { dfa = o.Outcome.dfa; condition = o.Outcome.condition; witnesses },
+    !dropped )
+
+let recheck t (p : Encoder.problem) =
+  t.witnesses <> []
+  && List.for_all
+       (fun w ->
+         match witness_of p.Encoder.psi.Form.expr w.point with
+         | Some _ -> true
+         | None -> false)
+       t.witnesses
+
+let pp ppf t =
+  Format.fprintf ppf "certificate: %s violates %s at %d point(s)@." t.dfa
+    t.condition (List.length t.witnesses);
+  List.iteri
+    (fun i w ->
+      Format.fprintf ppf "  [%d]" (i + 1);
+      List.iter (fun (v, x) -> Format.fprintf ppf " %s=%.8g" v x) w.point;
+      Format.fprintf ppf " : psi = %.6g, enclosed in %a (%s)@." w.psi_value
+        Interval.pp w.enclosure
+        (match w.strength with
+        | Certified -> "certified"
+        | Float_only -> "float-only"))
+    t.witnesses

@@ -1,0 +1,41 @@
+(** Counterexample certificates.
+
+    A refutation verdict is only as credible as its witness. This module
+    extracts every counterexample model from an outcome into a standalone
+    certificate that a third party can re-check without trusting the solver:
+    each witness carries the input point, the value of the local-condition
+    expression at that point (float), and a rigorous interval enclosure of
+    that value obtained by degenerate-interval evaluation — when the
+    enclosure's upper bound is negative, the violation is {e proved} in
+    exact real arithmetic, independent of the search that found it. *)
+
+type strength =
+  | Certified  (** interval enclosure entirely below zero: proof *)
+  | Float_only
+      (** float evaluation negative but the enclosure straddles zero
+          (borderline violation within rounding slack) *)
+
+type witness = {
+  point : (string * float) list;
+  psi_value : float;  (** float value of the condition expression *)
+  enclosure : Interval.t;  (** certified enclosure of the same value *)
+  strength : strength;
+}
+
+type t = {
+  dfa : string;
+  condition : string;
+  witnesses : witness list;
+}
+
+(** [extract problem outcome] re-checks every counterexample model in the
+    outcome's paint log against [problem.psi] and builds the certificate.
+    Models whose violation cannot be reproduced even in float arithmetic are
+    dropped (and counted). *)
+val extract : Encoder.problem -> Outcome.t -> t * int
+
+(** [recheck t problem] re-validates a certificate from scratch; [true] iff
+    every witness still violates the condition. *)
+val recheck : t -> Encoder.problem -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/expr/compile.ml: Array Eval Expr Float Lambert List Printf Rat Stdlib String

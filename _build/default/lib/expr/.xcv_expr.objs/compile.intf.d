@@ -1,0 +1,1 @@
+lib/expr/compile.mli: Expr

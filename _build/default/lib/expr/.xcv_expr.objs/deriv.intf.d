@@ -1,0 +1,1 @@
+lib/expr/deriv.mli: Expr

@@ -1,0 +1,1 @@
+lib/expr/dual.ml: Eval Expr Lambert List Rat Stdlib String

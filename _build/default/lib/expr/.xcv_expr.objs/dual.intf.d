@@ -1,0 +1,1 @@
+lib/expr/dual.mli: Expr

@@ -1,0 +1,1 @@
+lib/expr/eval.ml: Expr Float Lambert List Rat Stdlib

@@ -1,0 +1,1 @@
+lib/expr/expr.ml: Float Hashtbl Int64 List Mutex Rat Stdlib String

@@ -1,0 +1,1 @@
+lib/expr/parser.ml: Buffer Expr Float Format List String

@@ -1,0 +1,1 @@
+lib/expr/printer.ml: Buffer Expr Float Format Hashtbl List Option Printf Rat String

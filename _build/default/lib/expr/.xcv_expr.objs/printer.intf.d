@@ -1,0 +1,1 @@
+lib/expr/printer.mli: Expr Format

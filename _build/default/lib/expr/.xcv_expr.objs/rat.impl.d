@@ -1,0 +1,1 @@
+lib/expr/rat.ml: Float Format Stdlib

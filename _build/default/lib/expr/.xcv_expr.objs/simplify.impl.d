@@ -1,0 +1,1 @@
+lib/expr/simplify.ml: Expr List Rat

@@ -1,0 +1,1 @@
+lib/expr/subst.ml: Expr List Option Rat

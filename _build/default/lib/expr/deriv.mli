@@ -1,0 +1,23 @@
+(** Symbolic differentiation.
+
+    Replaces the SymPy step of the paper's XCEncoder: the local conditions
+    EC2-EC4 and EC6-EC7 need first and second partial derivatives of the
+    correlation enhancement factor with respect to the Wigner-Seitz radius,
+    and the paper computes these symbolically to avoid the numerical
+    approximation errors of the grid-search baseline.
+
+    Differentiation is memoized over the expression DAG, so shared subterms
+    are differentiated once. Piecewise expressions are differentiated
+    branchwise (guards are kept; the measure-zero switching boundary is
+    handled by the interval solver, which hulls both branches whenever a
+    guard is not decided). *)
+
+(** [diff ~wrt e] is the partial derivative of [e] with respect to the
+    variable named [wrt]. The result is built with the smart constructors, so
+    it is lightly normalized but not deeply simplified; pass it through
+    {!Simplify.simplify} before encoding. *)
+val diff : wrt:string -> Expr.t -> Expr.t
+
+(** [diff_n ~wrt n e] is the [n]-th derivative, simplifying between
+    applications. *)
+val diff_n : wrt:string -> int -> Expr.t -> Expr.t

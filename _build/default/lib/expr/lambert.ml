@@ -1,0 +1,43 @@
+let residual w x = (w *. Stdlib.exp w) -. x
+
+let initial_guess x =
+  if x < -0.25 then begin
+    (* Series around the branch point x = -1/e. *)
+    let p = Stdlib.sqrt (2.0 *. ((Float.exp 1.0 *. x) +. 1.0)) in
+    -1.0 +. p -. (p *. p /. 3.0)
+  end
+  else if x < 0.25 then
+    (* Padé-flavoured guess accurate near zero. *)
+    x *. (1.0 -. x +. (1.5 *. x *. x)) /. (1.0 +. (0.5 *. x))
+  else if x < 10.0 then
+    (* log1p satisfies the asymptotics of W at both ends of this range and
+       never degenerates (unlike log log x near x = 1). *)
+    Stdlib.log1p x
+  else begin
+    let l1 = Stdlib.log x in
+    let l2 = Stdlib.log l1 in
+    l1 -. l2 +. (l2 /. l1)
+  end
+
+let w0 x =
+  if Float.is_nan x then Float.nan
+  else if x = Float.infinity then Float.infinity
+  else if x = 0.0 then 0.0
+  else if x < -.(Float.exp (-1.0)) -. 1e-15 then Float.nan
+  else begin
+    let w = ref (initial_guess x) in
+    if !w <= -1.0 then w := -1.0 +. 1e-12;
+    (* Halley iteration: cubic convergence, 4 rounds suffice from the
+       guesses above; a few extra rounds cost nothing and guard pathological
+       starting points. *)
+    for _ = 1 to 8 do
+      let ew = Stdlib.exp !w in
+      let f = (!w *. ew) -. x in
+      if f <> 0.0 then begin
+        let w1 = !w +. 1.0 in
+        let denom = (ew *. w1) -. ((!w +. 2.0) *. f /. (2.0 *. w1)) in
+        if denom <> 0.0 && Float.is_finite denom then w := !w -. (f /. denom)
+      end
+    done;
+    !w
+  end

@@ -1,0 +1,15 @@
+(** Numeric evaluation of the principal branch [W0] of the Lambert W
+    function, defined by [W(x) * exp(W(x)) = x] for [x >= -1/e].
+
+    Needed because the AM05 exchange functional is written in terms of
+    [LambertW] in its LibXC Maple source. Evaluation uses a bounded number of
+    Halley iterations from a branch-dependent initial guess and converges to
+    within a few ulps over the domain exercised by the functionals
+    ([x >= 0]). *)
+
+(** [w0 x] is [W0(x)]. Returns [nan] for [x < -1/e]. *)
+val w0 : float -> float
+
+(** Residual [w *. exp w -. x] used by tests and by the interval enclosure to
+    certify an evaluation. *)
+val residual : float -> float -> float

@@ -1,0 +1,27 @@
+(** Rendering of symbolic expressions.
+
+    Three formats are provided:
+    - {!pp} / {!to_string}: human-readable infix notation with minimal
+      parentheses,
+    - {!pp_sexp}: fully parenthesized s-expressions (stable, parseable by
+      {!Parser.sexp_of_string}),
+    - {!pp_python}: Python/NumPy syntax, mirroring the paper's
+      Maple-[CodeGeneration]-to-Python step so encoded functionals can be
+      compared against reference implementations. *)
+
+val pp : Format.formatter -> Expr.t -> unit
+val to_string : Expr.t -> string
+val pp_sexp : Format.formatter -> Expr.t -> unit
+val sexp_to_string : Expr.t -> string
+val pp_python : Format.formatter -> Expr.t -> unit
+val python_to_string : Expr.t -> string
+
+(** [pp_c ~name ~vars ppf e] emits a complete C99 function
+    [double name(double v1, ...)] computing [e] — the reverse of the
+    paper's Maple-to-code step, and the shape LibXC itself ships.
+    Common subexpressions become local [t<n>] temporaries (one per shared
+    DAG node), piecewise bodies become conditional expressions, and
+    [lambert_w] is emitted as a call to an extern [xcv_lambert_w]. *)
+val pp_c : name:string -> vars:string list -> Format.formatter -> Expr.t -> unit
+
+val c_to_string : name:string -> vars:string list -> Expr.t -> string

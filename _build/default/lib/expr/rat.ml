@@ -1,0 +1,86 @@
+type t = { num : int; den : int }
+
+exception Overflow
+
+let max_component = 1 lsl 53
+
+let check n = if abs n >= max_component then raise Overflow else n
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make num den =
+  if den = 0 then raise Division_by_zero;
+  let s = if den < 0 then -1 else 1 in
+  let num = s * num and den = s * den in
+  let g = gcd (abs num) den in
+  if g = 0 then { num = 0; den = 1 }
+  else { num = check (num / g); den = den / g }
+
+let of_int n = { num = check n; den = 1 }
+
+let zero = { num = 0; den = 1 }
+let one = { num = 1; den = 1 }
+let minus_one = { num = -1; den = 1 }
+let half = { num = 1; den = 2 }
+let third = { num = 1; den = 3 }
+
+let neg r = { r with num = -r.num }
+
+(* Products of components stay below [2^53 * 2^53]; OCaml ints are 63-bit so
+   intermediate products can overflow silently. Guard by checking operand
+   magnitudes before multiplying. *)
+let mul_exact a b =
+  if a = 0 || b = 0 then 0
+  else begin
+    let p = a * b in
+    if p / b <> a then raise Overflow else p
+  end
+
+let add a b =
+  make (mul_exact a.num b.den + mul_exact b.num a.den) (mul_exact a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (mul_exact a.num b.num) (mul_exact a.den b.den)
+
+let inv r =
+  if r.num = 0 then raise Division_by_zero;
+  make r.den r.num
+
+let div a b = mul a (inv b)
+let abs r = { r with num = Stdlib.abs r.num }
+
+let equal a b = a.num = b.num && a.den = b.den
+
+let compare a b =
+  Stdlib.compare (mul_exact a.num b.den) (mul_exact b.num a.den)
+
+let sign r = Stdlib.compare r.num 0
+let is_zero r = r.num = 0
+let is_one r = r.num = 1 && r.den = 1
+let is_int r = r.den = 1
+let to_int r = if r.den = 1 then Some r.num else None
+let to_float r = float_of_int r.num /. float_of_int r.den
+
+let of_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Some (of_int (int_of_float f))
+  else begin
+    (* Try denominators that cover the decimal constants appearing in
+       functional definitions (10^k up to 10^9). *)
+    let rec try_den k den =
+      if k > 9 then None
+      else
+        let scaled = f *. float_of_int den in
+        if Float.is_integer scaled && Float.abs scaled < 1e15 then
+          Some (make (int_of_float scaled) den)
+        else try_den (k + 1) (den * 10)
+    in
+    try_den 1 10
+  end
+
+let pp ppf r =
+  if r.den = 1 then Format.fprintf ppf "%d" r.num
+  else Format.fprintf ppf "%d/%d" r.num r.den
+
+let to_string r = Format.asprintf "%a" pp r
+
+let hash r = (r.num * 65599) lxor r.den

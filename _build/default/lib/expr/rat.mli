@@ -1,0 +1,61 @@
+(** Small exact rational numbers.
+
+    Used to keep exponents and structural constants exact during symbolic
+    manipulation (e.g. the derivative of [x^(1/3)] must carry [-2/3], not a
+    rounded float). Numerator and denominator are native [int]s; all
+    operations normalize by the gcd and keep the denominator positive.
+    Overflow raises {!Overflow}: the functionals in this repository only ever
+    produce tiny denominators (powers like 1/3, 8/3, 14/3), so an overflow
+    indicates a logic error rather than a representable value. *)
+
+type t = private { num : int; den : int }
+
+exception Overflow
+
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den = 0]. *)
+val make : int -> int -> t
+
+(** [of_int n] is [n/1]. *)
+val of_int : int -> t
+
+val zero : t
+val one : t
+val minus_one : t
+val half : t
+val third : t
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** @raise Division_by_zero on division by {!zero}. *)
+val div : t -> t -> t
+
+val inv : t -> t
+val abs : t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val sign : t -> int
+val is_zero : t -> bool
+val is_one : t -> bool
+
+(** [is_int r] holds when the denominator is 1. *)
+val is_int : t -> bool
+
+(** [to_int r] is the numerator when {!is_int} holds. *)
+val to_int : t -> int option
+
+val to_float : t -> float
+
+(** [of_float f] is the exact rational value of [f] when it has a small
+    decimal representation (denominator a power of two times ten up to 10^9);
+    [None] for floats that do not round-trip. *)
+val of_float : float -> t option
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val hash : t -> int

@@ -1,0 +1,1 @@
+lib/functionals/dft_vars.ml: Expr Rat

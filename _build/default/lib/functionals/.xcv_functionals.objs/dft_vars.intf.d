@@ -1,0 +1,1 @@
+lib/functionals/dft_vars.mli: Expr

@@ -1,0 +1,1 @@
+lib/functionals/enhancement.ml: Dft_vars Expr Simplify Subst Uniform

@@ -1,0 +1,1 @@
+lib/functionals/enhancement.mli: Expr

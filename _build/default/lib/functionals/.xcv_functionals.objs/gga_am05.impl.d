@@ -1,0 +1,1 @@
+lib/functionals/gga_am05.ml: Dft_vars Eval Expr Float Lda_pw92 Rat Stdlib Uniform

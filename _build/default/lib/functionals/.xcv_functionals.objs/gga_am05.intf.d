@@ -1,0 +1,1 @@
+lib/functionals/gga_am05.mli: Expr

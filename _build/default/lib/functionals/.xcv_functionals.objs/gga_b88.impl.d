@@ -1,0 +1,1 @@
+lib/functionals/gga_b88.ml: Dft_vars Eval Expr Float Uniform

@@ -1,0 +1,1 @@
+lib/functionals/gga_b88.mli: Expr

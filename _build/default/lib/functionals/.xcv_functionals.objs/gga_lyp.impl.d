@@ -1,0 +1,1 @@
+lib/functionals/gga_lyp.ml: Dft_vars Eval Expr Float Rat

@@ -1,0 +1,1 @@
+lib/functionals/gga_lyp.mli: Expr

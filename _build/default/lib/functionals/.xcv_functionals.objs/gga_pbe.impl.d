@@ -1,0 +1,1 @@
+lib/functionals/gga_pbe.ml: Dft_vars Eval Expr Float Lda_pw92 Stdlib Uniform

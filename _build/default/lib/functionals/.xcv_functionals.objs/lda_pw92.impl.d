@@ -1,0 +1,1 @@
+lib/functionals/lda_pw92.ml: Dft_vars Eval Expr Rat

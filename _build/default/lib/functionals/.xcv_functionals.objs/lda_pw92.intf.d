@@ -1,0 +1,1 @@
+lib/functionals/lda_pw92.mli: Expr

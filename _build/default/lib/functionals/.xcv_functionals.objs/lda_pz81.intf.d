@@ -1,0 +1,1 @@
+lib/functionals/lda_pz81.mli: Expr

@@ -1,0 +1,1 @@
+lib/functionals/lda_vwn.ml: Dft_vars Eval Expr Stdlib

@@ -1,0 +1,1 @@
+lib/functionals/lda_vwn.mli: Expr

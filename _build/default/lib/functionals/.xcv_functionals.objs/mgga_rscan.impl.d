@@ -1,0 +1,1 @@
+lib/functionals/mgga_rscan.ml: Array Dft_vars Eval Expr Mgga_scan Subst Uniform

@@ -1,0 +1,1 @@
+lib/functionals/mgga_rscan.mli: Expr

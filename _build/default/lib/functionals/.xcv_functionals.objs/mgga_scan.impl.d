@@ -1,0 +1,1 @@
+lib/functionals/mgga_scan.ml: Dft_vars Eval Expr Float Lda_pw92 Rat Stdlib Uniform

@@ -1,0 +1,1 @@
+lib/functionals/mgga_scan.mli: Expr

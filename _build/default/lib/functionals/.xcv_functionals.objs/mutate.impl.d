@@ -1,0 +1,1 @@
+lib/functionals/mutate.ml: Expr Float List Option Registry Subst

@@ -1,0 +1,1 @@
+lib/functionals/mutate.mli: Expr Registry

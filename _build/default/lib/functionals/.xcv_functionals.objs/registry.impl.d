@@ -1,0 +1,1 @@
+lib/functionals/registry.ml: Dft_vars Expr Format Gga_am05 Gga_b88 Gga_lyp Gga_pbe Lda_pw92 Lda_pz81 Lda_vwn List Mgga_rscan Mgga_scan String

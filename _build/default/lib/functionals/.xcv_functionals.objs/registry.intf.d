@@ -1,0 +1,1 @@
+lib/functionals/registry.mli: Expr Format

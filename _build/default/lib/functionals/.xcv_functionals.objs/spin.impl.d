@@ -1,0 +1,1 @@
+lib/functionals/spin.ml: Dft_vars Eval Expr Float Gga_pbe Lda_pw92 Rat Simplify Subst Uniform

@@ -1,0 +1,1 @@
+lib/functionals/spin.mli: Expr

@@ -1,0 +1,1 @@
+lib/functionals/uniform.ml: Dft_vars Expr Float

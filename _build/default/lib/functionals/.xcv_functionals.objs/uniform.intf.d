@@ -1,0 +1,1 @@
+lib/functionals/uniform.mli: Expr

@@ -1,0 +1,24 @@
+let rs_name = "rs"
+let s_name = "s"
+let alpha_name = "alpha"
+
+let rs = Expr.var rs_name
+let s = Expr.var s_name
+let alpha = Expr.var alpha_name
+
+open Expr
+
+(* n = 3 / (4 pi rs^3) *)
+let density = mul_n [ rat 3 4; inv pi; powi rs (-3) ]
+
+(* kf = (3 pi^2 n)^(1/3) = (9 pi / 4)^(1/3) / rs *)
+let kf = mul (cbrt (mul_n [ rat 9 4; pi ])) (inv rs)
+
+(* |grad n|^2 = (2 kf n s)^2 = 4 (3 pi^2)^(2/3) n^(8/3) s^2 *)
+let grad_n_sq =
+  mul_n [ int 4; powr (mul_n [ int 3; sqr pi ]) (Rat.make 2 3);
+          powr density (Rat.make 8 3); sqr s ]
+
+(* t = |grad n| / (2 ks n), ks = sqrt (4 kf / pi):
+   t^2 = s^2 kf^2 / ks^2 = s^2 (pi kf / 4) = (pi/4) (9 pi/4)^(1/3) s^2/rs *)
+let t2 = mul_n [ rat 1 4; pi; kf; sqr s ]

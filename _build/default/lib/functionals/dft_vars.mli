@@ -1,0 +1,36 @@
+(** Canonical variables of the DFA input space.
+
+    Following Pederson & Burke (and the paper's Section II), functionals are
+    expressed for the spin-unpolarized case in terms of:
+
+    - [rs]: the Wigner-Seitz radius, [rs = (4 pi n / 3)^(-1/3)];
+    - [s]: the reduced density gradient,
+      [s = |grad n| / (2 (3 pi^2)^(1/3) n^(4/3))];
+    - [alpha]: the meta-GGA iso-orbital indicator,
+      [alpha = (tau - tau_W) / tau_unif] (meta-GGA functionals only).
+
+    This module fixes the variable names and provides the symbolic
+    change-of-variable expressions every functional implementation uses. *)
+
+val rs_name : string
+val s_name : string
+val alpha_name : string
+
+(** The variables as expressions. *)
+val rs : Expr.t
+
+val s : Expr.t
+val alpha : Expr.t
+
+(** [density] is the electron density [n(rs) = 3 / (4 pi rs^3)]. *)
+val density : Expr.t
+
+(** [grad_n_sq] is [|grad n|^2 = 4 (3 pi^2)^(2/3) n^(8/3) s^2]. *)
+val grad_n_sq : Expr.t
+
+(** [t2] is the square of the PBE-style reduced gradient for correlation,
+    [t = |grad n| / (2 k_s n)]: [t2 = (pi/4) (9 pi / 4)^(1/3) s^2 / rs]. *)
+val t2 : Expr.t
+
+(** [kf] is the Fermi wavevector [(3 pi^2 n)^(1/3) = (9 pi / 4)^(1/3) / rs]. *)
+val kf : Expr.t

@@ -1,0 +1,6 @@
+let f_of eps = Simplify.simplify (Expr.div eps Uniform.eps_x)
+
+let rs_infinity = 100.0
+
+let f_c_at_infinity f_c =
+  Simplify.simplify (Subst.at_large Dft_vars.rs_name rs_infinity f_c)

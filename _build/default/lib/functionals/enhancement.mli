@@ -1,0 +1,21 @@
+(** Enhancement factors — Equation 2 of the paper.
+
+    The local conditions of Section II are stated on the exchange
+    (correlation) enhancement factors
+
+    [F_xc = F_x + F_c = eps_xc / eps_x^unif],
+
+    the DFA energy densities normalized by the (negative) uniform-gas
+    exchange energy. Because [eps_x^unif < 0], the correlation
+    non-positivity [eps_c <= 0] is equivalent to [F_c >= 0], and so on. *)
+
+(** [f_of eps] is [eps / eps_x^unif] as a symbolic expression, simplified. *)
+val f_of : Expr.t -> Expr.t
+
+(** [f_c_at_infinity f_c] is the paper's finite stand-in for
+    [lim_{rs -> inf} F_c]: the substitution [rs := 100] (Section III-A,
+    following Pederson & Burke). *)
+val f_c_at_infinity : Expr.t -> Expr.t
+
+(** The substitution value used by {!f_c_at_infinity}. *)
+val rs_infinity : float

@@ -1,0 +1,46 @@
+open Expr
+
+let alpha_i = 2.804
+let c_x = 0.7168
+
+(* d = ((4/3)^(1/3) * 2 pi / 3)^4 *)
+let d_x = Float.pow (Float.cbrt (4.0 /. 3.0) *. 2.0 *. Float.pi /. 3.0) 4.0
+
+let gamma_c = 0.8098
+
+let s = Dft_vars.s
+
+let index_x = inv (add one (mul (const alpha_i) (sqr s)))
+
+(* xi(s) = ((3/2) W0(s^(3/2) / (2 sqrt 6)))^(2/3) *)
+let xi =
+  powr
+    (mul (rat 3 2)
+       (lambert_w
+          (mul (const (0.5 /. Stdlib.sqrt 6.0)) (powr s (Rat.make 3 2)))))
+    (Rat.make 2 3)
+
+(* F_b(s) = (pi/3) s / (xi (d + xi^2)^(1/4)) *)
+let f_b =
+  div
+    (mul (div pi (int 3)) s)
+    (mul xi (powr (add (const d_x) (sqr xi)) (Rat.make 1 4)))
+
+(* F_x^LAA = (c s^2 + 1) / (c s^2 / F_b + 1) *)
+let f_laa =
+  let cs2 = mul (const c_x) (sqr s) in
+  div (add cs2 one) (add (div cs2 f_b) one)
+
+let f_x = add index_x (mul (sub one index_x) f_laa)
+
+let eps_x = mul Uniform.eps_x f_x
+
+let eps_c =
+  mul Lda_pw92.eps_c
+    (add index_x (mul (const gamma_c) (sub one index_x)))
+
+let eps_c_at ~rs ~s =
+  Eval.eval [ (Dft_vars.rs_name, rs); (Dft_vars.s_name, s) ] eps_c
+
+let eps_x_at ~rs ~s =
+  Eval.eval [ (Dft_vars.rs_name, rs); (Dft_vars.s_name, s) ] eps_x

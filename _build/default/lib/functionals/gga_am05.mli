@@ -1,0 +1,43 @@
+(** Armiento-Mattsson 2005 functional (Phys. Rev. B 72, 085108) — designed
+    from the subsystem-functional scheme to include surface effects; the
+    paper's example of a non-empirical GGA with strong performance on
+    solids.
+
+    Exchange interpolates between LDA and the Local Airy Approximation using
+    an interpolation index [X(s) = 1/(1 + alpha_i s^2)]:
+
+    {v
+    F_x(s)     = X(s) + (1 - X(s)) F_x^LAA(s)
+    F_x^LAA(s) = (c s^2 + 1) / (c s^2 / F_b(s) + 1)
+    F_b(s)     = (pi/3) s / (xi(s) (d + xi(s)^2)^(1/4))
+    xi(s)      = ( (3/2) W0( s^(3/2) / (2 sqrt 6) ) )^(2/3)
+    v}
+
+    with [W0] the Lambert W function — the reason this library's expression
+    language and interval solver support [lambert_w] as a primitive.
+    [F_b(0) = 1] in the limit, but the expression is 0/0 at [s = 0]: the
+    same removable singularity that makes solvers time out along the s-axis
+    in the paper's AM05 experiments.
+
+    Correlation scales PW92 by the same index:
+    [eps_c = eps_c^PW92(rs) (X(s) + gamma_c (1 - X(s)))]. *)
+
+val alpha_i : float
+
+(** Exchange parameters [c = 0.7168] and
+    [d = ((4/3)^(1/3) 2 pi / 3)^4]. *)
+val c_x : float
+
+val d_x : float
+
+(** Correlation parameter [gamma_c = 0.8098]. *)
+val gamma_c : float
+
+(** Interpolation index [X(s)]. *)
+val index_x : Expr.t
+
+val f_x : Expr.t
+val eps_x : Expr.t
+val eps_c : Expr.t
+val eps_c_at : rs:float -> s:float -> float
+val eps_x_at : rs:float -> s:float -> float

@@ -1,0 +1,30 @@
+open Expr
+
+let beta = 0.0042
+
+(* a_x such that eps_x^unif = -a_x n_sigma^(1/3) per spin channel; for the
+   closed shell the standard spin-scaled constant is
+   (3/2) (3/(4 pi))^(1/3). *)
+let a_x = 1.5 *. Float.cbrt (3.0 /. (4.0 *. Float.pi))
+
+(* x_sigma = |grad n_sigma| / n_sigma^(4/3); with n_sigma = n/2 and
+   |grad n_sigma| = |grad n|/2 this is 2^(1/3) |grad n| / n^(4/3)
+   = 2^(1/3) * 2 (3 pi^2)^(1/3) * s. *)
+let x_of_s =
+  mul
+    (const (Float.cbrt 2.0 *. 2.0 *. Float.cbrt (3.0 *. Float.pi *. Float.pi)))
+    Dft_vars.s
+
+let asinh e = log (add e (sqrt (add (sqr e) one)))
+
+let f_x =
+  let x = x_of_s in
+  add one
+    (div
+       (mul (const (beta /. a_x)) (sqr x))
+       (add one (mul_n [ const (6.0 *. beta); x; asinh x ])))
+
+let eps_x = mul Uniform.eps_x f_x
+
+let eps_x_at ~rs ~s =
+  Eval.eval [ (Dft_vars.rs_name, rs); (Dft_vars.s_name, s) ] eps_x

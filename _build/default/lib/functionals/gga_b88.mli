@@ -1,0 +1,28 @@
+(** Becke 1988 exchange functional (Phys. Rev. A 38, 3098) — extension
+    beyond the paper's five DFAs.
+
+    B88 is the canonical {e empirical} exchange functional; combined with
+    LYP correlation it forms BLYP, one of the most-used functionals in
+    molecular chemistry. Registering the pair lets the verifier exercise the
+    Lieb-Oxford conditions (EC4/EC5) on an empirically designed functional —
+    the paper could not, because LYP alone has no exchange part.
+
+    Spin-unpolarized form, with the dimensionless gradient
+    [x_sigma = |grad n_sigma| / n_sigma^(4/3) = 2^(1/3) * 2 (3 pi^2)^(1/3) s]:
+
+    {v
+    F_x(s) = 1 + (beta / a_x) x^2 / (1 + 6 beta x asinh x)
+    v}
+
+    where [a_x = (3/2)(3/(4 pi))^(1/3)] normalizes against the uniform-gas
+    exchange and [asinh u = log (u + sqrt (u^2 + 1))] is built from the
+    expression primitives. [beta = 0.0042] is Becke's fitted constant. *)
+
+val beta : float
+
+(** The per-spin reduced gradient [x(s)] for the closed-shell case. *)
+val x_of_s : Expr.t
+
+val f_x : Expr.t
+val eps_x : Expr.t
+val eps_x_at : rs:float -> s:float -> float

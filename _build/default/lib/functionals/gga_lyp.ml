@@ -1,0 +1,48 @@
+open Expr
+
+let a = 0.04918
+let b = 0.132
+let c = 0.2533
+let d = 0.349
+let c_f = 0.3 *. Float.pow (3.0 *. Float.pi *. Float.pi) (2.0 /. 3.0)
+
+let n = Dft_vars.density
+
+(* n^(-1/3), the recurring length scale. *)
+let n13 = powr n (Rat.make (-1) 3)
+
+let denom = add one (mul (const d) n13)
+
+(* delta = c n^(-1/3) + d n^(-1/3) / (1 + d n^(-1/3)) *)
+let delta = add (mul (const c) n13) (div (mul (const d) n13) denom)
+
+(* omega = exp(-c n^(-1/3)) n^(-11/3) / (1 + d n^(-1/3)) *)
+let omega =
+  mul_n
+    [ exp (mul (const (-.c)) n13); powr n (Rat.make (-11) 3); inv denom ]
+
+(* Closed-shell energy density: see interface. Multiplying the bracket of
+   the energy (per volume) expression by omega/n yields the two terms below;
+   |grad n|^2 carries the s-dependence. *)
+let eps_c =
+  let kinetic_term = mul (const c_f) (powr n (Rat.make 11 3)) in
+  let grad_coeff = add (rat 1 24) (mul (rat 7 72) delta) in
+  let gradient_term = mul_n [ grad_coeff; n; Dft_vars.grad_n_sq ] in
+  sub
+    (neg (div (const a) denom))
+    (mul_n [ const (a *. b); omega; sub kinetic_term gradient_term ])
+
+let eps_c_at ~rs ~s =
+  Eval.eval [ (Dft_vars.rs_name, rs); (Dft_vars.s_name, s) ] eps_c
+
+let s_crossing ~rs =
+  let f s = eps_c_at ~rs ~s in
+  (* eps_c < 0 at s = 0 and > 0 for large s; bisect the sign change. *)
+  let rec bisect lo hi k =
+    if k = 0 then 0.5 *. (lo +. hi)
+    else begin
+      let mid = 0.5 *. (lo +. hi) in
+      if f mid < 0.0 then bisect mid hi (k - 1) else bisect lo mid (k - 1)
+    end
+  in
+  bisect 0.0 50.0 80

@@ -1,0 +1,38 @@
+(** Lee-Yang-Parr correlation functional — the paper's representative
+    {e empirical} DFA (Phys. Rev. B 37, 785), in the Miehlich-Savin-
+    Stoll-Preuss reformulation (Chem. Phys. Lett. 157, 200) that eliminates
+    the density Laplacian, which is the form implemented by LibXC and
+    checked by Pederson & Burke.
+
+    For the closed-shell (spin-unpolarized) case the energy density reduces
+    to (derivation in DESIGN.md notation, with [n] the density, [delta] and
+    [omega] the standard LYP auxiliaries):
+
+    {v
+    eps_c = -a / (1 + d n^(-1/3))
+            - a b omega(n) [ C_F n^(11/3)
+                           - (1/24 + 7 delta / 72) n |grad n|^2 ]
+    v}
+
+    The positive gradient term is what makes LYP violate the correlation
+    non-positivity condition EC1 at large reduced gradients — the paper
+    finds counterexamples for every applicable condition, with EC1
+    violations appearing at [s > 1.6563]. *)
+
+val a : float
+val b : float
+val c : float
+val d : float
+
+(** Thomas-Fermi constant [C_F = (3/10)(3 pi^2)^(2/3)]. *)
+val c_f : float
+
+(** [eps_c(rs, s)], closed shell. *)
+val eps_c : Expr.t
+
+val eps_c_at : rs:float -> s:float -> float
+
+(** [s_crossing ~rs] numerically locates the reduced gradient above which
+    [eps_c > 0] at the given [rs] (by bisection); used by tests to compare
+    against the paper's reported violation boundary. *)
+val s_crossing : rs:float -> float

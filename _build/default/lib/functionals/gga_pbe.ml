@@ -1,0 +1,48 @@
+open Expr
+
+let kappa = 0.804
+let mu = 0.2195149727645171
+let beta = 0.06672455060314922
+let gamma = (1.0 -. Stdlib.log 2.0) /. (Float.pi *. Float.pi)
+
+let s = Dft_vars.s
+
+(* Parametrized form: the registered functional uses the published
+   constants; mutation tests and parameter studies rebuild with others. *)
+let f_x_with ~kappa ~mu =
+  add_n
+    [
+      one;
+      const kappa;
+      neg
+        (div (const kappa)
+           (add one (mul (const (mu /. kappa)) (sqr s))));
+    ]
+
+let f_x = f_x_with ~kappa ~mu
+
+let eps_x = mul Uniform.eps_x f_x
+
+let t2 = Dft_vars.t2
+
+let h_term =
+  let eps_lda = Lda_pw92.eps_c in
+  let a =
+    div (const (beta /. gamma))
+      (sub (exp (mul (const (-1.0 /. gamma)) eps_lda)) one)
+  in
+  let at2 = mul a t2 in
+  let numerator = add one at2 in
+  let denominator = add_n [ one; at2; sqr at2 ] in
+  mul (const gamma)
+    (log
+       (add one
+          (mul_n [ const (beta /. gamma); t2; div numerator denominator ])))
+
+let eps_c = add Lda_pw92.eps_c h_term
+
+let eps_c_at ~rs ~s =
+  Eval.eval [ (Dft_vars.rs_name, rs); (Dft_vars.s_name, s) ] eps_c
+
+let eps_x_at ~rs ~s =
+  Eval.eval [ (Dft_vars.rs_name, rs); (Dft_vars.s_name, s) ] eps_x

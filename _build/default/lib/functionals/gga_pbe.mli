@@ -1,0 +1,36 @@
+(** Perdew-Burke-Ernzerhof 1996 generalized gradient approximation — the
+    paper's flagship non-empirical GGA (Phys. Rev. Lett. 77, 3865).
+
+    Exchange: [eps_x = eps_x^unif F_x(s)], with the enhancement factor
+    [F_x(s) = 1 + kappa - kappa / (1 + mu s^2 / kappa)].
+
+    Correlation: [eps_c = eps_c^PW92(rs) + H(rs, t)], with
+    [H = gamma ln(1 + (beta/gamma) t^2 (1 + A t^2)/(1 + A t^2 + A^2 t^4))]
+    and [A = (beta/gamma) / (exp(-eps_c^PW92/gamma) - 1)], evaluated at
+    zeta = 0. This is the form the paper notes has over 300 operations in
+    its LibXC implementation. *)
+
+val kappa : float
+val mu : float
+val beta : float
+val gamma : float
+
+(** [f_x_with ~kappa ~mu] builds the enhancement factor with explicit
+    parameters (the published values give {!f_x}); used by the CI-mutation
+    example to inject wrong-constant regressions. *)
+val f_x_with : kappa:float -> mu:float -> Expr.t
+
+(** Exchange enhancement factor [F_x(s)]. *)
+val f_x : Expr.t
+
+(** [eps_x(rs, s)]. *)
+val eps_x : Expr.t
+
+(** [eps_c(rs, s)] at zeta = 0. *)
+val eps_c : Expr.t
+
+(** The gradient contribution [H(rs, t(rs, s))], exposed for tests. *)
+val h_term : Expr.t
+
+val eps_c_at : rs:float -> s:float -> float
+val eps_x_at : rs:float -> s:float -> float

@@ -1,0 +1,26 @@
+open Expr
+
+let g_function ~a ~a1 ~b1 ~b2 ~b3 ~b4 =
+  let rs = Dft_vars.rs in
+  let poly =
+    add_n
+      [
+        mul (const b1) (sqrt rs);
+        mul (const b2) rs;
+        mul (const b3) (powr rs (Rat.make 3 2));
+        mul (const b4) (sqr rs);
+      ]
+  in
+  mul_n
+    [
+      const (-2.0 *. a);
+      add one (mul (const a1) rs);
+      log (add one (inv (mul_n [ const (2.0 *. a); poly ])));
+    ]
+
+(* Unpolarized (zeta = 0) parameters, Table I of PW92. *)
+let eps_c =
+  g_function ~a:0.031091 ~a1:0.21370 ~b1:7.5957 ~b2:3.5876 ~b3:1.6382
+    ~b4:0.49294
+
+let eps_c_at rs = Eval.eval1 Dft_vars.rs_name rs eps_c

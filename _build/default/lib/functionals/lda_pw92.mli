@@ -1,0 +1,19 @@
+(** Perdew-Wang 1992 parametrization of the correlation energy of the
+    uniform electron gas (spin-unpolarized channel).
+
+    PW92 is not itself one of the paper's five DFAs, but it is a substrate:
+    PBE correlation, SCAN's [eps_c^1] branch and AM05 correlation are all
+    built on top of [eps_c^PW92(rs)]. Reference: Phys. Rev. B 45, 13244. *)
+
+(** Symbolic [eps_c^PW92(rs)] at zeta = 0, in Hartree. *)
+val eps_c : Expr.t
+
+(** The generic PW92 interpolation
+    [G(rs) = -2A(1 + a1 rs) ln(1 + 1/(2A(b1 rs^(1/2) + b2 rs + b3 rs^(3/2)
+    + b4 rs^2)))] used by all three PW92 channels; exposed for tests and for
+    building the spin-resolved channels. *)
+val g_function :
+  a:float -> a1:float -> b1:float -> b2:float -> b3:float -> b4:float -> Expr.t
+
+(** Numeric convenience. *)
+val eps_c_at : float -> float

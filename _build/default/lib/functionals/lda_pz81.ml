@@ -1,0 +1,37 @@
+open Expr
+
+(* Unpolarized parameters, Perdew & Zunger 1981, Appendix C. *)
+let a_p = 0.0311
+let b_p = -0.048
+let c_p = 0.0020
+let d_p = -0.0116
+let gamma_p = -0.1423
+let beta1_p = 1.0529
+let beta2_p = 0.3334
+
+let rs = Dft_vars.rs
+
+let high_density =
+  add_n
+    [
+      mul (const a_p) (log rs);
+      const b_p;
+      mul_n [ const c_p; rs; log rs ];
+      mul (const d_p) rs;
+    ]
+
+let low_density =
+  div (const gamma_p)
+    (add_n [ one; mul (const beta1_p) (sqrt rs); mul (const beta2_p) rs ])
+
+(* rs < 1 <=> rs - 1 < 0 *)
+let eps_c = piecewise [ (guard_lt (sub rs one), high_density) ] low_density
+
+let eps_c_at r = Eval.eval1 Dft_vars.rs_name r eps_c
+
+let derivative_jump_at_matching_point () =
+  let d_high = Deriv.diff ~wrt:Dft_vars.rs_name high_density in
+  let d_low = Deriv.diff ~wrt:Dft_vars.rs_name low_density in
+  Float.abs
+    (Eval.eval1 Dft_vars.rs_name 1.0 d_high
+    -. Eval.eval1 Dft_vars.rs_name 1.0 d_low)

@@ -1,0 +1,21 @@
+(** Perdew-Zunger 1981 parametrization of the Ceperley-Alder correlation
+    energies (unpolarized channel).
+
+    Not one of the paper's five evaluated DFAs, but the subject of its
+    Section VI-C discussion of numerical issues: PZ81 is defined piecewise in
+    [rs] with independently fitted pieces, and the published constants make
+    the energy and especially its derivative slightly discontinuous at the
+    matching point [rs = 1]. The example [pz81_discontinuity] and the
+    condition checks over boxes straddling [rs = 1] exercise exactly this
+    defect. *)
+
+(** Symbolic [eps_c^PZ81(rs)]:
+    [rs < 1]: [A ln rs + B + C rs ln rs + D rs];
+    [rs >= 1]: [gamma / (1 + beta1 sqrt rs + beta2 rs)]. *)
+val eps_c : Expr.t
+
+val eps_c_at : float -> float
+
+(** Magnitude of the jump of [d eps_c / d rs] at the matching point,
+    evaluated symbolically from both one-sided forms. *)
+val derivative_jump_at_matching_point : unit -> float

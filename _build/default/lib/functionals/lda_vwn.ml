@@ -1,0 +1,29 @@
+open Expr
+
+type params = { a : float; x0 : float; b : float; c : float }
+
+let rpa_params = { a = 0.0310907; x0 = -0.409286; b = 13.0720; c = 42.7198 }
+let vwn5_params = { a = 0.0310907; x0 = -0.10498; b = 3.72744; c = 12.9352 }
+
+let eps_c_of { a; x0; b; c } =
+  let x = sqrt Dft_vars.rs in
+  let cap_x t = add_n [ sqr t; mul (const b) t; const c ] in
+  let q = Stdlib.sqrt ((4.0 *. c) -. (b *. b)) in
+  let atan_term = atan (div (const q) (add (mul two x) (const b))) in
+  let x0e = const x0 in
+  let x0_coeff = b *. x0 /. ((x0 *. x0) +. (b *. x0) +. c) in
+  mul (const a)
+    (add_n
+       [
+         log (div (sqr x) (cap_x x));
+         mul (const (2.0 *. b /. q)) atan_term;
+         neg
+           (mul (const x0_coeff)
+              (add
+                 (log (div (sqr (sub x x0e)) (cap_x x)))
+                 (mul (const (2.0 *. (b +. (2.0 *. x0)) /. q)) atan_term)));
+       ])
+
+let eps_c = eps_c_of rpa_params
+let eps_c_vwn5 = eps_c_of vwn5_params
+let eps_c_at rs = Eval.eval1 Dft_vars.rs_name rs eps_c

@@ -1,0 +1,36 @@
+(** Vosko-Wilk-Nusair correlation functionals (paramagnetic channel).
+
+    The paper evaluates the {b VWN RPA} variant (LibXC's [LDA_C_VWN_RPA]):
+    the VWN Padé interpolation fitted to the random-phase-approximation
+    correlation energies, Phys. Rev. B 22, 3812 (1980). The more common VWN5
+    fit (to the Ceperley-Alder quantum Monte Carlo data) is provided as
+    well; it shares the functional form and differs only in parameters.
+
+    Functional form, with [x = sqrt rs], [X(t) = t^2 + b t + c] and
+    [Q = sqrt (4c - b^2)]:
+
+    {v
+    eps_c = A [ ln(x^2 / X(x)) + (2b/Q) atan(Q / (2x + b))
+              - (b x0 / X(x0)) ( ln((x - x0)^2 / X(x))
+                               + (2(b + 2 x0)/Q) atan(Q / (2x + b)) ) ]
+    v} *)
+
+type params = { a : float; x0 : float; b : float; c : float }
+
+(** RPA fit (paramagnetic): A = 0.0310907, x0 = -0.409286, b = 13.0720,
+    c = 42.7198. *)
+val rpa_params : params
+
+(** VWN5 fit (paramagnetic): A = 0.0310907, x0 = -0.10498, b = 3.72744,
+    c = 12.9352. *)
+val vwn5_params : params
+
+(** [eps_c_of params] builds the symbolic correlation energy for a parameter
+    set. *)
+val eps_c_of : params -> Expr.t
+
+(** [eps_c] is the VWN RPA variant — the DFA verified in the paper. *)
+val eps_c : Expr.t
+
+val eps_c_vwn5 : Expr.t
+val eps_c_at : float -> float

@@ -1,0 +1,63 @@
+open Expr
+
+let alpha_reg = 1e-3
+
+let alpha_regularized =
+  let a = Dft_vars.alpha in
+  div (powi a 3) (add (sqr a) (const alpha_reg))
+
+(* Degree-7 interpolation polynomials of Bartók & Yates (as tabulated in the
+   r2SCAN supplementary material), valid on alpha' < 2.5, matched to the
+   SCAN exponential tail beyond. *)
+let poly_x =
+  [|
+    1.0; -0.667; -0.4445555; -0.663086601049; 1.451297044490;
+    -0.887998041597; 0.234528941479; -0.023185843322;
+  |]
+
+let poly_c =
+  [|
+    1.0; -0.64; -0.4352; -1.535685604549; 3.061560252175; -1.915710236206;
+    0.516884468372; -0.051848879792;
+  |]
+
+let horner coeffs x =
+  let n = Array.length coeffs in
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) (add (const coeffs.(i)) (mul x acc))
+  in
+  go (n - 2) (const coeffs.(n - 1))
+
+let switching coeffs ~c2 ~d =
+  let a' = alpha_regularized in
+  piecewise
+    [ (guard_lt (sub a' (const 2.5)), horner coeffs a') ]
+    (mul (const (-.d)) (exp (div (const c2) (sub one a'))))
+
+let f_alpha_x = switching poly_x ~c2:Mgga_scan.c2x ~d:Mgga_scan.dx
+let f_alpha_c = switching poly_c ~c2:Mgga_scan.c2c ~d:Mgga_scan.dc
+
+(* Exchange and correlation reuse the SCAN limits with the regularized
+   indicator substituted and the polynomial switch in place of the
+   essential-singularity interpolation. *)
+let with_regularized_alpha e =
+  Subst.subst1 Dft_vars.alpha_name alpha_regularized e
+
+let f_x =
+  let h1x = with_regularized_alpha Mgga_scan.h1x in
+  mul
+    (add h1x (mul f_alpha_x (sub (const Mgga_scan.h0x) h1x)))
+    Mgga_scan.g_x
+
+let eps_x = mul Uniform.eps_x f_x
+
+let eps_c =
+  add Mgga_scan.eps_c1 (mul f_alpha_c (sub Mgga_scan.eps_c0 Mgga_scan.eps_c1))
+
+let env3 ~rs ~s ~alpha =
+  [
+    (Dft_vars.rs_name, rs); (Dft_vars.s_name, s); (Dft_vars.alpha_name, alpha);
+  ]
+
+let eps_c_at ~rs ~s ~alpha = Eval.eval (env3 ~rs ~s ~alpha) eps_c
+let eps_x_at ~rs ~s ~alpha = Eval.eval (env3 ~rs ~s ~alpha) eps_x

@@ -1,0 +1,35 @@
+(** rSCAN: the regularized SCAN functional of Bartók and Yates (J. Chem.
+    Phys. 150, 161101) — implemented as this repository's Section VI-A
+    extension.
+
+    The paper's discussion singles out the rSCAN / r2SCAN progression as a
+    "fascinating use case": those functionals were redesigned specifically
+    to remove SCAN's numerical pathologies, the very pathologies that make
+    the solver time out. rSCAN makes two changes visible at our level of
+    description:
+
+    + the iso-orbital indicator is regularized,
+      [alpha' = alpha^3 / (alpha^2 + alpha_reg)] with [alpha_reg = 1e-3],
+      taming the behaviour near [alpha = 0];
+    + the switching function's essential singularity at [alpha = 1] is
+      replaced by a degree-7 polynomial on [alpha' < 2.5] (smoothly meeting
+      the original exponential tail beyond).
+
+    The [scan_challenge] example and the ablation bench measure how much
+    easier interval verification becomes after this regularization. *)
+
+val alpha_reg : float
+
+(** Regularized indicator [alpha'] as an expression of [alpha]. *)
+val alpha_regularized : Expr.t
+
+(** Polynomial switching functions (piecewise with the exponential tail). *)
+val f_alpha_x : Expr.t
+
+val f_alpha_c : Expr.t
+
+val f_x : Expr.t
+val eps_x : Expr.t
+val eps_c : Expr.t
+val eps_c_at : rs:float -> s:float -> alpha:float -> float
+val eps_x_at : rs:float -> s:float -> alpha:float -> float

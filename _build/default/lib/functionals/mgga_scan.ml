@@ -1,0 +1,125 @@
+open Expr
+
+let s = Dft_vars.s
+let alpha = Dft_vars.alpha
+let rs = Dft_vars.rs
+
+(* Piecewise interpolation function shared by exchange and correlation:
+   alpha < 1: exp(-c1 alpha / (1 - alpha)); alpha >= 1: -d exp(c2/(1 - alpha)). *)
+let interp ~c1 ~c2 ~d =
+  let one_minus = sub one alpha in
+  (* Three branches: alpha < 1, alpha = 1 (both exponential forms have
+     essential singularities there but the function value is 0), alpha > 1.
+     Without the middle branch IEEE evaluation at exactly alpha = 1 would
+     give exp(c2 / +0) = +inf instead of the defined limit 0. *)
+  piecewise
+    [
+      ( guard_lt (sub alpha one),
+        exp (mul (const (-.c1)) (div alpha one_minus)) );
+      (guard_le (sub alpha one), zero);
+    ]
+    (mul (const (-.d)) (exp (div (const c2) one_minus)))
+
+(* ------------------------------------------------------------------ *)
+(* Exchange                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let h0x = 1.174
+let c1x = 0.667
+let c2x = 0.8
+let dx = 1.24
+let k1 = 0.065
+let mu_ak = 10.0 /. 81.0
+let b2 = Stdlib.sqrt (5913.0 /. 405000.0)
+let b1 = 511.0 /. 13500.0 /. (2.0 *. b2)
+let b3 = 0.5
+let b4 = (mu_ak *. mu_ak /. k1) -. (1606.0 /. 18225.0) -. (b1 *. b1)
+let a1 = 4.9479
+
+let f_alpha_x = interp ~c1:c1x ~c2:c2x ~d:dx
+
+let h1x =
+  let s2 = sqr s in
+  let term1 =
+    mul (const mu_ak)
+      (mul s2
+         (add one
+            (mul_n
+               [
+                 const (b4 /. mu_ak);
+                 s2;
+                 exp (mul (const (-.Float.abs b4 /. mu_ak)) s2);
+               ])))
+  in
+  let term2 =
+    sqr
+      (add
+         (mul (const b1) s2)
+         (mul_n
+            [
+              const b2;
+              sub one alpha;
+              exp (mul (const (-.b3)) (sqr (sub one alpha)));
+            ]))
+  in
+  let x = add term1 term2 in
+  add (const (1.0 +. k1)) (neg (div (const k1) (add one (div x (const k1)))))
+
+let g_x = sub one (exp (mul (const (-.a1)) (powr s (Rat.make (-1) 2))))
+
+let f_x = mul (add h1x (mul f_alpha_x (sub (const h0x) h1x))) g_x
+
+let eps_x = mul Uniform.eps_x f_x
+
+(* ------------------------------------------------------------------ *)
+(* Correlation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let c1c = 0.64
+let c2c = 1.5
+let dc = 0.7
+let b1c = 0.0285764
+let b2c = 0.0889
+let b3c = 0.125541
+let chi_inf = 0.12802585262625815
+let gamma_c = 0.031090690869654895
+
+let f_alpha_c = interp ~c1:c1c ~c2:c2c ~d:dc
+
+(* Single-orbital (alpha = 0) limit. *)
+let eps_lda0 =
+  neg
+    (div (const b1c)
+       (add_n [ one; mul (const b2c) (sqrt rs); mul (const b3c) rs ]))
+
+let eps_c0 =
+  let g_inf =
+    powr (add one (mul (const (4.0 *. chi_inf)) (sqr s))) (Rat.make (-1) 4)
+  in
+  let w0 = sub (exp (neg (div eps_lda0 (const b1c)))) one in
+  let h0 = mul (const b1c) (log (add one (mul w0 (sub one g_inf)))) in
+  add eps_lda0 h0
+
+(* Slowly-varying (alpha = 1) limit: PW92 plus gradient correction with an
+   rs-dependent beta (beta(rs) -> 0.066725 (1 + 0.1 rs)/(1 + 0.1778 rs)). *)
+let eps_c1 =
+  let eps_lsda = Lda_pw92.eps_c in
+  let beta_rs =
+    mul (const 0.066725)
+      (div (add one (mul (const 0.1) rs)) (add one (mul (const 0.1778) rs)))
+  in
+  let w1 = sub (exp (neg (div eps_lsda (const gamma_c)))) one in
+  let y = div (mul beta_rs Dft_vars.t2) (mul (const gamma_c) w1) in
+  let g_y = powr (add one (mul (int 4) y)) (Rat.make (-1) 4) in
+  let h1 = mul (const gamma_c) (log (add one (mul w1 (sub one g_y)))) in
+  add eps_lsda h1
+
+let eps_c = add eps_c1 (mul f_alpha_c (sub eps_c0 eps_c1))
+
+let env3 ~rs ~s ~alpha =
+  [
+    (Dft_vars.rs_name, rs); (Dft_vars.s_name, s); (Dft_vars.alpha_name, alpha);
+  ]
+
+let eps_c_at ~rs ~s ~alpha = Eval.eval (env3 ~rs ~s ~alpha) eps_c
+let eps_x_at ~rs ~s ~alpha = Eval.eval (env3 ~rs ~s ~alpha) eps_x

@@ -1,0 +1,67 @@
+(** SCAN: the Strongly Constrained and Appropriately Normed meta-GGA of Sun,
+    Ruzsinszky and Perdew (Phys. Rev. Lett. 115, 036402) — the paper's
+    hardest verification target, built to satisfy all 17 known exact
+    constraints yet the one DFA on which the solver times out for {e every}
+    condition.
+
+    The functional depends on three reduced variables: [rs], [s] and the
+    iso-orbital indicator [alpha]. Both exchange and correlation interpolate
+    between an [alpha = 0] (single-orbital) and an [alpha = 1]
+    (slowly-varying) limit through a switching function [f(alpha)] that is
+    {e piecewise} with an essential singularity at [alpha = 1]:
+
+    {v
+    f(alpha) = exp(-c1 alpha / (1 - alpha))       alpha < 1
+             = -d exp(c2 / (1 - alpha))           alpha >= 1
+    v}
+
+    This structure (plus [exp], [log] and fractional powers everywhere) is
+    why SCAN is an order of magnitude harder for interval solvers than PBE —
+    the phenomenon the paper's Section VI-A discusses. *)
+
+(** {1 Exchange} *)
+
+(** Switching-function parameters (shared with the rSCAN extension, which
+    keeps the exponential tails). *)
+val c1x : float
+
+val c2x : float
+val dx : float
+val c1c : float
+val c2c : float
+val dc : float
+
+(** Interpolation switching function [f_x(alpha)] (piecewise). *)
+val f_alpha_x : Expr.t
+
+(** Single-orbital exchange limit [h0x = 1.174]. *)
+val h0x : float
+
+(** Slowly-varying exchange enhancement [h1x(s, alpha)]. *)
+val h1x : Expr.t
+
+(** Nonuniform-scaling damper [gx(s) = 1 - exp(-a1 / sqrt s)]. *)
+val g_x : Expr.t
+
+(** Full exchange enhancement factor
+    [F_x(s, alpha) = (h1x + f_x(alpha)(h0x - h1x)) gx(s)]. *)
+val f_x : Expr.t
+
+val eps_x : Expr.t
+
+(** {1 Correlation} *)
+
+val f_alpha_c : Expr.t
+
+(** Single-orbital correlation limit [eps_c^0(rs, s)]. *)
+val eps_c0 : Expr.t
+
+(** Slowly-varying correlation limit [eps_c^1(rs, s)] (PW92 + gradient
+    correction with rs-dependent beta). *)
+val eps_c1 : Expr.t
+
+(** [eps_c = eps_c1 + f_c(alpha) (eps_c0 - eps_c1)] at zeta = 0. *)
+val eps_c : Expr.t
+
+val eps_c_at : rs:float -> s:float -> alpha:float -> float
+val eps_x_at : rs:float -> s:float -> alpha:float -> float

@@ -1,0 +1,42 @@
+open Expr
+
+let const_matches target c =
+  c = target
+  || Float.abs (c -. target) <= 1e-12 *. (Float.abs target +. Float.abs c)
+
+let tweak_constant ~from_const ~to_const e =
+  let count = ref 0 in
+  let replaced =
+    Subst.(
+      replace_map_constants
+        (fun c ->
+          if const_matches from_const c then begin
+            incr count;
+            Some to_const
+          end
+          else None)
+        e)
+  in
+  (replaced, !count)
+
+let flip_constant_sign c e = tweak_constant ~from_const:c ~to_const:(-.c) e
+
+let scale_term ~factor ~containing e =
+  match e.node with
+  | Add terms ->
+      add_n
+        (List.map
+           (fun t ->
+             if mem_var containing t then mul (const factor) t else t)
+           terms)
+  | _ -> if mem_var containing e then mul (const factor) e else e
+
+let mutant_of (dfa : Registry.t) ~name ~mutate =
+  {
+    dfa with
+    Registry.name;
+    label = name;
+    eps_c = Option.map mutate dfa.Registry.eps_c;
+    eps_x = Option.map mutate dfa.Registry.eps_x;
+    description = "mutant of " ^ dfa.Registry.name;
+  }

@@ -1,0 +1,33 @@
+(** Mutation of functional implementations — the test harness for the
+    paper's continuous-integration vision (Section VI-B: "integrate our
+    verification tool into LibXC, e.g., as part of the continuous
+    integration").
+
+    A regression that CI must catch is precisely a {e mutant}: an
+    implementation whose code differs from the intended functional by a
+    wrong constant, sign, or subexpression. This module builds such mutants
+    from the registered functionals; the CI story is then
+    "verifier(mutant) flips a Table I cell from OK to X", which the
+    [ci_mutation] example and the test suite exercise end to end.
+
+    All mutations operate on the hash-consed expression, so the original
+    registered functionals are never affected. *)
+
+(** Replace every occurrence of the constant [from_const] (matched within
+    relative tolerance 1e-12) by [to_const]. Returns the mutated expression
+    and the number of sites changed. *)
+val tweak_constant :
+  from_const:float -> to_const:float -> Expr.t -> Expr.t * int
+
+(** Flip the sign of every occurrence of constant [c]. *)
+val flip_constant_sign : float -> Expr.t -> Expr.t * int
+
+(** [scale_term ~factor ~containing e] multiplies by [factor] every
+    top-level additive term of [e] that mentions the variable [containing]
+    — a "wrong prefactor on the gradient correction" style bug. *)
+val scale_term : factor:float -> containing:string -> Expr.t -> Expr.t
+
+(** [mutant_of dfa ~name ~mutate] derives a registry entry from an existing
+    one with the correlation (and exchange, when present) mutated. *)
+val mutant_of :
+  Registry.t -> name:string -> mutate:(Expr.t -> Expr.t) -> Registry.t

@@ -1,0 +1,109 @@
+open Expr
+
+let zeta_name = "zeta"
+let zeta = var zeta_name
+
+let one_plus = add one zeta
+let one_minus = sub one zeta
+
+let four_thirds = Rat.make 4 3
+let two_thirds = Rat.make 2 3
+
+(* f(z) = ((1+z)^(4/3) + (1-z)^(4/3) - 2) / (2 (2^(1/3) - 1)) *)
+let f_interp =
+  mul
+    (const (0.5 /. (Float.cbrt 2.0 -. 1.0)))
+    (add_n [ powr one_plus four_thirds; powr one_minus four_thirds; int (-2) ])
+
+let fpp0 = 8.0 /. (9.0 *. (Float.pow 2.0 (4.0 /. 3.0) -. 2.0))
+
+let phi =
+  mul (rat 1 2) (add (powr one_plus two_thirds) (powr one_minus two_thirds))
+
+(* ---- exchange -------------------------------------------------------- *)
+
+let spin_weight =
+  mul (rat 1 2) (add (powr one_plus four_thirds) (powr one_minus four_thirds))
+
+let eps_x_lda_spin = mul Uniform.eps_x spin_weight
+
+let scale_exchange f_x_of_s =
+  (* E_x[n_up, n_down] = (E_x[2 n_up] + E_x[2 n_down]) / 2 evaluates the
+     unpolarized functional at the doubled channel density
+     n~_sigma = n (1 + sigma z) with gradient scaled alike, so the channel
+     reduced gradient is s_sigma = s (1 + sigma z)^(-1/3) and the energy per
+     (total) particle carries the weight (1 + sigma z)^(4/3) / 2. *)
+  let channel sign =
+    let one_pm = if sign > 0 then one_plus else one_minus in
+    let s_sigma = mul Dft_vars.s (powr one_pm (Rat.make (-1) 3)) in
+    mul
+      (powr one_pm four_thirds)
+      (Subst.subst1 Dft_vars.s_name s_sigma f_x_of_s)
+  in
+  mul_n [ rat 1 2; Uniform.eps_x; add (channel 1) (channel (-1)) ]
+
+(* ---- PW92, full spin ------------------------------------------------- *)
+
+(* Ferromagnetic (zeta = 1) channel, PW92 Table I. *)
+let pw92_ferro =
+  Lda_pw92.g_function ~a:0.015545 ~a1:0.20548 ~b1:14.1189 ~b2:6.1977
+    ~b3:3.3662 ~b4:0.62517
+
+(* The PW92 fit G(rs) for the spin stiffness yields -alpha_c(rs). *)
+let pw92_alpha_c =
+  neg
+    (Lda_pw92.g_function ~a:0.016887 ~a1:0.11125 ~b1:10.357 ~b2:3.6231
+       ~b3:0.88026 ~b4:0.49671)
+
+let zeta4 = powi zeta 4
+
+let eps_c_pw92_spin =
+  let para = Lda_pw92.eps_c in
+  add_n
+    [
+      para;
+      mul_n [ pw92_alpha_c; div f_interp (const fpp0); sub one zeta4 ];
+      mul_n [ sub pw92_ferro para; f_interp; zeta4 ];
+    ]
+
+(* ---- PBE, full spin --------------------------------------------------- *)
+
+let eps_c_pbe_spin =
+  let gamma = Gga_pbe.gamma and beta = Gga_pbe.beta in
+  let phi3 = powi phi 3 in
+  (* t includes the phi screening: t^2 = t^2(zeta=0) / phi^2 *)
+  let t2 = div Dft_vars.t2 (sqr phi) in
+  let a =
+    div (const (beta /. gamma))
+      (sub
+         (exp (neg (div eps_c_pw92_spin (mul (const gamma) phi3))))
+         one)
+  in
+  let at2 = mul a t2 in
+  let h =
+    mul_n
+      [
+        const gamma;
+        phi3;
+        log
+          (add one
+             (mul_n
+                [
+                  const (beta /. gamma);
+                  t2;
+                  div (add one at2) (add_n [ one; at2; sqr at2 ]);
+                ]));
+      ]
+  in
+  add eps_c_pw92_spin h
+
+let eps_x_pbe_spin = scale_exchange Gga_pbe.f_x
+
+(* ---- helpers ----------------------------------------------------------- *)
+
+let at_zeta z e = Simplify.simplify (Subst.subst1 zeta_name (const z) e)
+
+let eval3 ~rs ~s ~zeta e =
+  Eval.eval
+    [ (Dft_vars.rs_name, rs); (Dft_vars.s_name, s); (zeta_name, zeta) ]
+    e

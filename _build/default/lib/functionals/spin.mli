@@ -1,0 +1,79 @@
+(** Spin-polarized functional forms — extension beyond the paper's
+    spin-unpolarized (zeta = 0) analysis.
+
+    LibXC implements every functional spin-resolved; Pederson & Burke and
+    the paper evaluate the zeta = 0 slice. This module provides the standard
+    spin machinery so conditions can be verified on the full
+    (rs, s, zeta) space:
+
+    - the relative polarization variable [zeta = (n_up - n_down) / n],
+    - the exchange spin-interpolation function
+      [f(zeta) = ((1+z)^(4/3) + (1-z)^(4/3) - 2) / (2 (2^(1/3) - 1))],
+    - exact spin scaling of exchange,
+      [E_x(n_up, n_down) = (E_x(2 n_up) + E_x(2 n_down)) / 2],
+    - the full three-channel PW92 correlation (paramagnetic, ferromagnetic
+      and spin-stiffness fits) with the Vosko-Wilk-Nusair interpolation
+      formula PW92 adopts,
+    - spin-resolved PBE correlation with its [phi(zeta)] gradient screening.
+
+    Checks: at [zeta = 0] every form reduces exactly to its unpolarized
+    counterpart in this library; at [zeta = 1] PW92 reduces to its
+    ferromagnetic channel (both covered by the test suite). *)
+
+(** The variable name ["zeta"], and the variable itself. *)
+val zeta_name : string
+
+val zeta : Expr.t
+
+(** [f_interp] is the exchange interpolation function [f(zeta)];
+    [f(0) = 0], [f(1) = 1]. *)
+val f_interp : Expr.t
+
+(** [fpp0 = f''(0) = 8 / (9 (2^(4/3) - 2))]. *)
+val fpp0 : float
+
+(** [phi] is PBE's gradient-screening factor
+    [((1+z)^(2/3) + (1-z)^(2/3)) / 2]. *)
+val phi : Expr.t
+
+(** {1 Exchange} *)
+
+(** [eps_x_lda_spin]: spin-scaled LDA exchange,
+    [eps_x^unif(rs) (1 + f(zeta) (2^(1/3) - 1))]-equivalent form. *)
+val eps_x_lda_spin : Expr.t
+
+(** [scale_exchange f_x_of_s] applies exact spin scaling to a GGA exchange
+    enhancement factor: each spin channel sees density [2 n_sigma] and the
+    correspondingly rescaled reduced gradient
+    [s_sigma = s (1 + sigma zeta)^(-1/3)]. Returns [eps_x(rs, s, zeta)]. *)
+val scale_exchange : Expr.t -> Expr.t
+
+(** {1 PW92 correlation, full spin} *)
+
+(** Ferromagnetic (zeta = 1) channel [eps_c^PW92(rs, 1)]. *)
+val pw92_ferro : Expr.t
+
+(** Spin stiffness [alpha_c(rs)] (positive-valued expression; the PW92 fit
+    G gives [-alpha_c]). *)
+val pw92_alpha_c : Expr.t
+
+(** [eps_c_pw92_spin]: the interpolation
+    [eps_c(rs, z) = eps_c(rs, 0) + alpha_c(rs) (f(z)/f''(0)) (1 - z^4)
+     + (eps_c(rs,1) - eps_c(rs,0)) f(z) z^4]. *)
+val eps_c_pw92_spin : Expr.t
+
+(** {1 PBE, full spin} *)
+
+(** [eps_c_pbe_spin(rs, s, zeta)]: PW92 spin interpolation plus the
+    [H(rs, t, zeta)] gradient term with [phi]-screening. Reduces to
+    {!Gga_pbe.eps_c} at [zeta = 0]. *)
+val eps_c_pbe_spin : Expr.t
+
+(** [eps_x_pbe_spin(rs, s, zeta)]: spin-scaled PBE exchange. *)
+val eps_x_pbe_spin : Expr.t
+
+(** {1 Evaluation helpers} *)
+
+val at_zeta : float -> Expr.t -> Expr.t
+
+val eval3 : rs:float -> s:float -> zeta:float -> Expr.t -> float

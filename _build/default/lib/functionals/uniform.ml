@@ -1,0 +1,11 @@
+open Expr
+
+(* eps_x^unif = -(3/4) (3 n / pi)^(1/3), n = 3/(4 pi rs^3). *)
+let eps_x =
+  neg
+    (mul_n
+       [ rat 3 4; cbrt (mul_n [ int 3; inv pi; Dft_vars.density ]) ])
+
+let prefactor = 0.75 *. Float.cbrt (9.0 /. (4.0 *. Float.pi *. Float.pi))
+
+let eps_x_at rs = -.prefactor /. rs

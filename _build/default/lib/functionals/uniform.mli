@@ -1,0 +1,14 @@
+(** The uniform electron gas exchange energy — the normalization of every
+    enhancement factor (Equation 2 of the paper).
+
+    [eps_x_unif = -(3/4) (3 n / pi)^(1/3) = -(3/4) (9/(4 pi^2))^(1/3) / rs
+    ~= -0.458165 / rs] Hartree per electron. *)
+
+(** Symbolic [eps_x^unif] as a function of [rs]. *)
+val eps_x : Expr.t
+
+(** The positive prefactor [0.4581652932831429]: [eps_x = -prefactor / rs]. *)
+val prefactor : float
+
+(** [eps_x_at rs] — numeric evaluation convenience. *)
+val eps_x_at : float -> float

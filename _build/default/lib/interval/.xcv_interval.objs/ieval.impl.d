@@ -1,0 +1,1 @@
+lib/interval/ieval.ml: Eval Expr Interval List Rat Transcend

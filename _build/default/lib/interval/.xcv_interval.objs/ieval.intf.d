@@ -1,0 +1,1 @@
+lib/interval/ieval.mli: Expr Interval

@@ -1,0 +1,1 @@
+lib/interval/transcend.ml: Float Interval Lambert List Stdlib

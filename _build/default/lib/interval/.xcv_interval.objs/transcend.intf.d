@@ -1,0 +1,1 @@
+lib/interval/transcend.mli: Interval

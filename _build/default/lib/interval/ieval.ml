@@ -1,0 +1,64 @@
+open Expr
+
+type env = (string * Interval.t) list
+
+let apply_unop op i =
+  match op with
+  | Exp -> Transcend.exp i
+  | Log -> Transcend.log i
+  | Sin -> Transcend.sin i
+  | Cos -> Transcend.cos i
+  | Tanh -> Transcend.tanh i
+  | Atan -> Transcend.atan i
+  | Abs -> Interval.abs i
+  | Lambert_w -> Transcend.lambert_w i
+
+let guard_status_of_interval rel gi =
+  if Interval.is_empty gi then `False
+  else
+    match rel with
+    | Le ->
+        if Interval.certainly_le gi 0.0 then `True
+        else if Interval.certainly_gt gi 0.0 then `False
+        else `Unknown
+    | Lt ->
+        if Interval.certainly_lt gi 0.0 then `True
+        else if Interval.certainly_ge gi 0.0 then `False
+        else `Unknown
+
+let eval env e =
+  let go =
+    memo_fix (fun self e ->
+        match e.node with
+        | Num r -> Interval.point (Rat.to_float r)
+        | Flt f -> Interval.point f
+        | Var v -> (
+            match List.assoc_opt v env with
+            | Some i -> i
+            | None -> raise (Eval.Unbound_variable v))
+        | Add terms ->
+            List.fold_left
+              (fun acc t -> Interval.add acc (self t))
+              Interval.zero terms
+        | Mul factors ->
+            List.fold_left
+              (fun acc f -> Interval.mul acc (self f))
+              Interval.one factors
+        | Pow (b, x) -> Interval.pow_expr (self b) (self x)
+        | Apply (op, a) -> apply_unop op (self a)
+        | Piecewise (branches, default) ->
+            (* Accumulate the hull of every branch that may be active; stop
+               as soon as a guard certainly holds (later branches dead). *)
+            let rec walk acc = function
+              | [] -> Interval.join acc (self default)
+              | (g, body) :: rest -> (
+                  match guard_status_of_interval g.grel (self g.cond) with
+                  | `True -> Interval.join acc (self body)
+                  | `False -> walk acc rest
+                  | `Unknown -> walk (Interval.join acc (self body)) rest)
+            in
+            walk Interval.empty branches)
+  in
+  go e
+
+let guard_status env g = guard_status_of_interval g.grel (eval env g.cond)

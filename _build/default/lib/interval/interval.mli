@@ -1,0 +1,130 @@
+(** Outward-rounded interval arithmetic over the extended reals.
+
+    This is the arithmetic core of the δ-complete solver that stands in for
+    dReal: every operation returns an interval guaranteed to contain the exact
+    real image of its argument intervals. Soundness is obtained by computing
+    each bound in round-to-nearest and then widening outward by one ulp per
+    operation (two for the transcendental functions, whose libm
+    implementations may be off by one ulp); this over-approximates true
+    directed rounding but never under-approximates.
+
+    Domain semantics follow SMT-over-reals: an operation applied outside its
+    real domain contributes no values. [log [-2, -1]] is {!empty};
+    [log [-1, 4]] is [[-inf, log 4]]. The empty interval propagates through
+    every operation and is how the HC4 contractor signals an infeasible
+    constraint.
+
+    The interval with [lo = -inf, hi = +inf] is {!top}. Bounds are never NaN
+    on non-empty intervals. *)
+
+type t = private { lo : float; hi : float }
+
+(** {1 Construction} *)
+
+(** [make lo hi] with [lo <= hi]; infinite bounds allowed.
+    @raise Invalid_argument if [lo > hi] or a bound is NaN. *)
+val make : float -> float -> t
+
+(** [point x] is the degenerate interval [[x, x]]. *)
+val point : float -> t
+
+val empty : t
+val top : t
+val zero : t
+val one : t
+
+(** [nonneg] is [[0, +inf)]. *)
+val nonneg : t
+
+(** {1 Predicates and accessors} *)
+
+val is_empty : t -> bool
+val is_point : t -> bool
+val is_bounded : t -> bool
+val inf : t -> float
+val sup : t -> float
+val mem : float -> t -> bool
+
+(** [subset a b] holds when every element of [a] is in [b]. *)
+val subset : t -> t -> bool
+
+(** [width i] is [sup - inf]; [infinity] for unbounded, [0] for empty. *)
+val width : t -> float
+
+(** [midpoint i] is a finite point inside [i] (clamped for unbounded
+    intervals).
+    @raise Invalid_argument on the empty interval. *)
+val midpoint : t -> float
+
+(** [mag i] is the maximum absolute value; [mig i] the minimum. *)
+val mag : t -> float
+
+val mig : t -> float
+
+val equal : t -> t -> bool
+
+(** {1 Lattice} *)
+
+val meet : t -> t -> t
+
+(** [join] is the interval hull of the union. *)
+val join : t -> t -> t
+
+(** [split i] bisects at the midpoint.
+    @raise Invalid_argument on empty or degenerate intervals. *)
+val split : t -> t * t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [div a b] is the interval hull of [{ x/y | x in a, y in b, y <> 0 }]. *)
+val div : t -> t -> t
+
+val abs : t -> t
+
+(** [inv a] is [div one a]. *)
+val inv : t -> t
+
+(** [pow_int a n] handles even/odd/negative integer exponents exactly. *)
+val pow_int : t -> int -> t
+
+(** [pow a p] for arbitrary real exponent: non-integer exponents restrict the
+    base to [[0, inf)] (real-valued power semantics). *)
+val pow : t -> float -> t
+
+(** [pow_expr a b] bounds [a^b] where the exponent is itself an interval. *)
+val pow_expr : t -> t -> t
+
+(** {1 Sign tests (for constraint checking)} *)
+
+(** [certainly_le i c]: every element of [i] is [<= c]. Empty: vacuously
+    true. *)
+val certainly_le : t -> float -> bool
+
+val certainly_lt : t -> float -> bool
+val certainly_ge : t -> float -> bool
+val certainly_gt : t -> float -> bool
+
+(** [possibly_le i c]: some element of [i] is [<= c]. *)
+val possibly_le : t -> float -> bool
+
+val possibly_lt : t -> float -> bool
+
+(** {1 Rounding helpers (shared with {!Transcend})} *)
+
+(** [lo_down x] steps [x] one ulp toward [-inf]; [hi_up x] one ulp toward
+    [+inf]. Infinities are fixed points. *)
+val lo_down : float -> float
+
+val hi_up : float -> float
+
+(** [of_bounds lo hi] builds an interval from already-directed bounds,
+    normalizing empty ([lo > hi]) to {!empty}. Used by {!Transcend}. *)
+val of_bounds : float -> float -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

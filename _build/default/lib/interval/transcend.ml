@@ -1,0 +1,199 @@
+let down2 x = Interval.lo_down (Interval.lo_down x)
+let up2 x = Interval.hi_up (Interval.hi_up x)
+
+(* Monotone increasing function on the whole real line. *)
+let mono_inc f i =
+  if Interval.is_empty i then Interval.empty
+  else Interval.of_bounds (down2 (f (Interval.inf i))) (up2 (f (Interval.sup i)))
+
+let exp i =
+  if Interval.is_empty i then Interval.empty
+  else begin
+    (* exp never goes below 0: clamp the widened lower bound. *)
+    let lo = Float.max 0.0 (down2 (Stdlib.exp (Interval.inf i))) in
+    let hi = up2 (Stdlib.exp (Interval.sup i)) in
+    Interval.of_bounds lo hi
+  end
+
+let log i =
+  let i = Interval.meet i Interval.nonneg in
+  if Interval.is_empty i then Interval.empty
+  else begin
+    let lo =
+      if Interval.inf i = 0.0 then Float.neg_infinity
+      else down2 (Stdlib.log (Interval.inf i))
+    in
+    let hi =
+      if Interval.sup i = 0.0 then Float.neg_infinity
+      else up2 (Stdlib.log (Interval.sup i))
+    in
+    Interval.of_bounds lo hi
+  end
+
+let tanh i =
+  if Interval.is_empty i then Interval.empty
+  else begin
+    let lo = Float.max (-1.0) (down2 (Stdlib.tanh (Interval.inf i))) in
+    let hi = Float.min 1.0 (up2 (Stdlib.tanh (Interval.sup i))) in
+    Interval.of_bounds lo hi
+  end
+
+let half_pi_hi = up2 (2.0 *. Stdlib.atan 1.0)
+
+let atan i =
+  if Interval.is_empty i then Interval.empty
+  else begin
+    let lo = Float.max (-.half_pi_hi) (down2 (Stdlib.atan (Interval.inf i))) in
+    let hi = Float.min half_pi_hi (up2 (Stdlib.atan (Interval.sup i))) in
+    Interval.of_bounds lo hi
+  end
+
+(* ------------------------------------------------------------------ *)
+(* sin / cos via quadrant analysis                                     *)
+(* ------------------------------------------------------------------ *)
+
+let two_pi = 8.0 *. Stdlib.atan 1.0
+
+(* Conservative: if the interval spans at least a full period (with slack for
+   the argument reduction error) return [-1, 1]; otherwise evaluate endpoints
+   and check whether a critical point (odd multiple of pi/2) lies inside. *)
+let trig f critical_shift i =
+  if Interval.is_empty i then Interval.empty
+  else if Interval.width i >= two_pi then Interval.make (-1.0) 1.0
+  else begin
+    let a = Interval.inf i and b = Interval.sup i in
+    let fa = f a and fb = f b in
+    let lo = ref (Float.min fa fb) and hi = ref (Float.max fa fb) in
+    (* Maxima of sin at pi/2 + 2k pi; of cos at 2k pi: critical_shift gives
+       the phase of the maximum; minima are half a period away. *)
+    let check_extremum phase value =
+      (* Does a + phase + 2k*pi fall in [a, b] for some integer k? *)
+      let k0 = Float.floor ((a -. phase) /. two_pi) in
+      let candidates = [ k0; k0 +. 1.0; k0 +. 2.0 ] in
+      if
+        List.exists
+          (fun k ->
+            let x = phase +. (k *. two_pi) in
+            (* Widen the containment test by the argument-reduction slack. *)
+            x >= a -. 1e-9 && x <= b +. 1e-9)
+          candidates
+      then begin
+        lo := Float.min !lo value;
+        hi := Float.max !hi value
+      end
+    in
+    check_extremum critical_shift 1.0;
+    check_extremum (critical_shift +. (two_pi /. 2.0)) (-1.0);
+    Interval.of_bounds
+      (Float.max (-1.0) (down2 !lo))
+      (Float.min 1.0 (up2 !hi))
+  end
+
+let sin i = trig Stdlib.sin (two_pi /. 4.0) i
+let cos i = trig Stdlib.cos 0.0 i
+
+(* ------------------------------------------------------------------ *)
+(* Lambert W                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let branch_point = -.Stdlib.exp (-1.0)
+
+(* Certify a numeric W evaluation by widening until the residual of the
+   defining equation brackets zero on both sides. *)
+let certify_lo x =
+  if x = Float.neg_infinity then Float.nan
+  else if x = Float.infinity then Float.infinity
+  else begin
+    let w = Lambert.w0 x in
+    if Float.is_nan w then Float.nan
+    else begin
+      let rec widen w steps =
+        (* want a lower bound: residual at w must be <= 0 (W increasing). *)
+        if steps > 64 then w -. (1e-9 *. (1.0 +. Float.abs w))
+        else if Lambert.residual w x <= 0.0 then w
+        else widen (Interval.lo_down (w -. (Float.abs w *. 1e-15))) (steps + 1)
+      in
+      Float.max (-1.0) (widen (Interval.lo_down w) 0)
+    end
+  end
+
+let certify_hi x =
+  if x = Float.infinity then Float.infinity
+  else begin
+    let w = Lambert.w0 x in
+    if Float.is_nan w then Float.nan
+    else begin
+      let rec widen w steps =
+        if steps > 64 then w +. (1e-9 *. (1.0 +. Float.abs w))
+        else if Lambert.residual w x >= 0.0 then w
+        else widen (Interval.hi_up (w +. (Float.abs w *. 1e-15))) (steps + 1)
+      in
+      widen (Interval.hi_up w) 0
+    end
+  end
+
+let lambert_w i =
+  let dom = Interval.make branch_point Float.infinity in
+  let i = Interval.meet i dom in
+  if Interval.is_empty i then Interval.empty
+  else begin
+    let lo = certify_lo (Interval.inf i) in
+    let lo = if Float.is_nan lo then -1.0 else lo in
+    let hi = certify_hi (Interval.sup i) in
+    let hi = if Float.is_nan hi then -1.0 else hi in
+    Interval.of_bounds lo hi
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Inverses                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let atanh i =
+  let dom = Interval.make (-1.0) 1.0 in
+  let i = Interval.meet i dom in
+  if Interval.is_empty i then Interval.empty
+  else begin
+    let f x =
+      if x <= -1.0 then Float.neg_infinity
+      else if x >= 1.0 then Float.infinity
+      else 0.5 *. Stdlib.log ((1.0 +. x) /. (1.0 -. x))
+    in
+    Interval.of_bounds (down2 (f (Interval.inf i))) (up2 (f (Interval.sup i)))
+  end
+
+let tan_on_principal i =
+  let dom = Interval.make (-.half_pi_hi) half_pi_hi in
+  let i = Interval.meet i dom in
+  if Interval.is_empty i then Interval.empty
+  else begin
+    let f x = Stdlib.tan x in
+    let lo =
+      if Interval.inf i <= -.half_pi_hi then Float.neg_infinity
+      else down2 (f (Interval.inf i))
+    in
+    let hi =
+      if Interval.sup i >= half_pi_hi then Float.infinity
+      else up2 (f (Interval.sup i))
+    in
+    Interval.of_bounds lo hi
+  end
+
+let w_inverse i =
+  (* w e^w, monotone increasing for w >= -1 (the range of W0). *)
+  let i = Interval.meet i (Interval.make (-1.0) Float.infinity) in
+  if Interval.is_empty i then Interval.empty
+  else mono_inc (fun w -> w *. Stdlib.exp w) i
+
+let asin_hull i =
+  let i = Interval.meet i (Interval.make (-1.0) 1.0) in
+  if Interval.is_empty i then Interval.empty
+  else mono_inc Stdlib.asin i
+
+let acos_hull i =
+  let i = Interval.meet i (Interval.make (-1.0) 1.0) in
+  if Interval.is_empty i then Interval.empty
+  else
+    (* acos is decreasing. *)
+    Interval.of_bounds
+      (down2 (Stdlib.acos (Interval.sup i)))
+      (up2 (Stdlib.acos (Interval.inf i)))

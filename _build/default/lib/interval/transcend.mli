@@ -1,0 +1,41 @@
+(** Interval enclosures for the transcendental functions appearing in density
+    functional approximations (exp, log in SCAN and PBE; atan in VWN;
+    Lambert W in AM05), plus sin/cos/tanh for engine completeness.
+
+    Monotone functions are enclosed by evaluating libm at the endpoints and
+    widening by two ulps (libm is faithfully rounded to within 1 ulp on every
+    platform we target; the second ulp is margin). sin/cos use quadrant
+    analysis. Every function follows the natural-domain semantics of
+    {!Interval}: inputs outside the real domain contribute no values. *)
+
+val exp : Interval.t -> Interval.t
+val log : Interval.t -> Interval.t
+val sin : Interval.t -> Interval.t
+val cos : Interval.t -> Interval.t
+val tanh : Interval.t -> Interval.t
+val atan : Interval.t -> Interval.t
+
+(** Principal branch [W0]; domain [[-1/e, inf)]. The numeric kernel
+    {!Lambert.w0} is certified post-hoc: the returned bounds are widened
+    until the defining residual [w e^w - x] brackets zero. *)
+val lambert_w : Interval.t -> Interval.t
+
+(** {1 Inverses for backward (HC4) propagation} *)
+
+(** [atanh i]: inverse of {!tanh}, domain [(-1, 1)]. *)
+val atanh : Interval.t -> Interval.t
+
+(** [tan_on_principal i]: inverse of {!atan}; [i] is clipped to
+    [(-pi/2, pi/2)]. *)
+val tan_on_principal : Interval.t -> Interval.t
+
+(** [w_inverse i] is [{ w e^w | w in i }], the inverse image map for
+    Lambert W backward propagation (monotone on [w >= -1], which covers the
+    range of [W0]). *)
+val w_inverse : Interval.t -> Interval.t
+
+(** [asin_hull i]: hull of the preimage of [i] under sin restricted to
+    [[-pi/2, pi/2]] — used only as a (sound, weak) backward contractor. *)
+val asin_hull : Interval.t -> Interval.t
+
+val acos_hull : Interval.t -> Interval.t

@@ -1,0 +1,1 @@
+lib/ks/numerov.ml: Array Float Radial_grid Stdlib

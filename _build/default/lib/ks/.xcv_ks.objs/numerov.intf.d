@@ -1,0 +1,1 @@
+lib/ks/numerov.mli: Radial_grid

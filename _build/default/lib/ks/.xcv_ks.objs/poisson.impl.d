@@ -1,0 +1,1 @@
+lib/ks/poisson.ml: Array Float Radial_grid

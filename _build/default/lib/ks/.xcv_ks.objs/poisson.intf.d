@@ -1,0 +1,1 @@
+lib/ks/poisson.mli: Radial_grid

@@ -1,0 +1,1 @@
+lib/ks/radial_grid.mli:

@@ -1,0 +1,1 @@
+lib/ks/scf.ml: Array Float Format List Numerov Poisson Printf Radial_grid Registry Stdlib Xc_potential

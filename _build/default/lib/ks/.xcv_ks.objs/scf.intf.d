@@ -1,0 +1,1 @@
+lib/ks/scf.mli: Format Radial_grid Registry

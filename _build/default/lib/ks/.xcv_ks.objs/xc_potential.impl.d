@@ -1,0 +1,1 @@
+lib/ks/xc_potential.ml: Array Compile Deriv Dft_vars Expr Float Option Radial_grid Registry Simplify Uniform

@@ -1,0 +1,1 @@
+lib/ks/xc_potential.mli: Radial_grid Registry

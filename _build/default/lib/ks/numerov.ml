@@ -1,0 +1,90 @@
+let g_array (grid : Radial_grid.t) ~l ~potential ~energy =
+  let ll = float_of_int (l * (l + 1)) in
+  Array.init grid.Radial_grid.n (fun i ->
+      let r = grid.Radial_grid.r.(i) in
+      (ll +. (2.0 *. r *. r *. (potential.(i) -. energy))) +. 0.25)
+
+let integrate_outward grid ~l ~potential ~energy =
+  let n = grid.Radial_grid.n in
+  let h2 = grid.Radial_grid.h *. grid.Radial_grid.h in
+  let g = g_array grid ~l ~potential ~energy in
+  (* Numerov on y'' = g y; recover u = sqrt(r) y at the end. *)
+  let y = Array.make n 0.0 in
+  (* Start from the r -> 0 behaviour u ~ r^(l+1), i.e.
+     y ~ r^(l + 1/2) = exp((l + 1/2) x); only the growth ratio between the
+     first two points matters. *)
+  let ratio =
+    (grid.Radial_grid.r.(1) /. grid.Radial_grid.r.(0))
+    ** (float_of_int l +. 0.5)
+  in
+  y.(0) <- 1e-20;
+  y.(1) <- 1e-20 *. ratio;
+  let f i = 1.0 -. (h2 /. 12.0 *. g.(i)) in
+  let nodes = ref 0 in
+  (try
+     for i = 1 to n - 2 do
+       y.(i + 1) <-
+         (((12.0 -. (10.0 *. f i)) *. y.(i)) -. (f (i - 1) *. y.(i - 1)))
+         /. f (i + 1);
+       if y.(i + 1) *. y.(i) < 0.0 then incr nodes;
+       (* Renormalize to dodge overflow in deep classically-forbidden
+          regions; sign structure (nodes) is preserved. *)
+       if Float.abs y.(i + 1) > 1e250 then begin
+         let scale = 1e-200 in
+         y.(i + 1) <- y.(i + 1) *. scale;
+         y.(i) <- y.(i) *. scale
+       end
+     done
+   with _ -> ());
+  let u =
+    Array.mapi (fun i yi -> yi *. Stdlib.sqrt grid.Radial_grid.r.(i)) y
+  in
+  (u, !nodes)
+
+let solve ?(e_min = -200.0) grid ~l ~potential ~nodes =
+  (* Node count is a monotone step function of E; bisect the jump from
+     [nodes] to [nodes + 1]. The window floor must respect Numerov's
+     stability bound |h^2 g / 12| < 1 at the outer edge, which a physical
+     bound (E_1s >= -Z^2/2 for any v >= -Z/r) guarantees: callers pass
+     [e_min ~ -(Z^2) - 10]. *)
+  let count e = snd (integrate_outward grid ~l ~potential ~energy:e) in
+  let e_min = ref e_min and e_max = ref (-1e-9) in
+  if count !e_min > nodes then failwith "Numerov.solve: lower bound too high";
+  if count !e_max <= nodes then
+    failwith "Numerov.solve: no bound state with that node count";
+  for _ = 1 to 200 do
+    let mid = 0.5 *. (!e_min +. !e_max) in
+    if count mid <= nodes then e_min := mid else e_max := mid
+  done;
+  let energy = 0.5 *. (!e_min +. !e_max) in
+  let u, _ = integrate_outward grid ~l ~potential ~energy in
+  (* The raw solution diverges in the tail once E is off by the residual
+     bisection error; truncate at the last sign-definite minimum of |u|
+     after the outer turning point and zero the contaminated tail. *)
+  let n = grid.Radial_grid.n in
+  let turning = ref (n - 1) in
+  (try
+     for i = n - 1 downto 1 do
+       if potential.(i) < energy then begin
+         turning := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let cut = ref (n - 1) in
+  (try
+     for i = !turning to n - 2 do
+       if Float.abs u.(i + 1) > Float.abs u.(i) then begin
+         cut := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  for i = !cut + 1 to n - 1 do
+    u.(i) <- 0.0
+  done;
+  (* Normalize ∫ u^2 dr = 1. *)
+  let u2 = Array.map (fun x -> x *. x) u in
+  let norm = Radial_grid.integrate grid u2 in
+  let s = 1.0 /. Stdlib.sqrt norm in
+  (energy, Array.map (fun x -> x *. s) u)

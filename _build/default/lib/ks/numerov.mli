@@ -1,0 +1,32 @@
+(** Bound states of the radial Schrödinger equation on a logarithmic grid.
+
+    With [u(r) = r R(r)] the radial equation is
+    [u'' = (l(l+1)/r^2 + 2(v(r) - E)) u] (Hartree atomic units). The
+    substitution [u = sqrt r · y(x)], [x = ln r] turns it into
+    [y''(x) = g(x) y(x)] with [g = r^2 (l(l+1)/r^2 + 2(v - E)) + 1/4] on a
+    uniform [x] grid, which the three-point Numerov scheme integrates with
+    O(h^4) local error.
+
+    Eigenvalues are found by node-counting bisection: the energy at which
+    the outward solution's node count on the grid jumps from [k] to [k+1]
+    is the [k]-node eigenvalue of the finite-box problem, which converges
+    to the atomic eigenvalue once the box is large enough to contain the
+    decaying tail. *)
+
+(** [solve grid ~l ~potential ~nodes] finds the bound state with the given
+    number of radial [nodes] (0 for 1s/2p/3d, 1 for 2s/3p, ...).
+    [potential.(i)] is [v(r_i)]. Returns the eigenvalue and the normalized
+    radial function [u] ([∫ u^2 dr = 1]). [e_min] (default -200) is the
+    bottom of the bisection window; it must stay within Numerov's stability
+    region, so callers use a physical lower bound like [-(Z^2) - 10].
+    @raise Failure if no such bound state exists in the search window. *)
+val solve :
+  ?e_min:float -> Radial_grid.t -> l:int -> potential:float array ->
+  nodes:int -> float * float array
+
+(** [integrate_outward grid ~l ~potential ~energy] returns the raw outward
+    Numerov solution [u] (unnormalized) and its node count — exposed for
+    tests. *)
+val integrate_outward :
+  Radial_grid.t -> l:int -> potential:float array -> energy:float ->
+  float array * int

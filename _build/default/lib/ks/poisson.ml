@@ -1,0 +1,25 @@
+let four_pi = 4.0 *. Float.pi
+
+let hartree (grid : Radial_grid.t) density =
+  let r = grid.Radial_grid.r in
+  let nr2 = Array.mapi (fun i d -> four_pi *. d *. r.(i) *. r.(i)) density in
+  let nr1 = Array.mapi (fun i d -> four_pi *. d *. r.(i)) density in
+  let q = Radial_grid.integrate_outward grid nr2 in
+  let outer = Radial_grid.integrate_inward grid nr1 in
+  Array.init grid.Radial_grid.n (fun i -> (q.(i) /. r.(i)) +. outer.(i))
+
+let hartree_energy grid density v_h =
+  let r = grid.Radial_grid.r in
+  let integrand =
+    Array.mapi
+      (fun i d -> 0.5 *. four_pi *. d *. v_h.(i) *. r.(i) *. r.(i))
+      density
+  in
+  Radial_grid.integrate grid integrand
+
+let total_charge grid density =
+  let r = grid.Radial_grid.r in
+  let integrand =
+    Array.mapi (fun i d -> four_pi *. d *. r.(i) *. r.(i)) density
+  in
+  Radial_grid.integrate grid integrand

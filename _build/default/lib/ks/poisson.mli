@@ -1,0 +1,19 @@
+(** Radial Poisson solver: the Hartree potential of a spherical density.
+
+    For a spherically symmetric density [n(r)] the electrostatic potential
+    splits into the enclosed-charge and outer-shell contributions:
+
+    [V_H(r) = q(r)/r + 4 pi ∫_r^inf n(r') r' dr'],
+    [q(r) = 4 pi ∫_0^r n(r') r'^2 dr'],
+
+    both plain cumulative integrals on the grid. *)
+
+(** [hartree grid density] returns [V_H] on the grid. *)
+val hartree : Radial_grid.t -> float array -> float array
+
+(** [hartree_energy grid density v_h] is [1/2 ∫ n V_H d^3r]. *)
+val hartree_energy : Radial_grid.t -> float array -> float array -> float
+
+(** [total_charge grid density] is [4 pi ∫ n r^2 dr] — the electron count,
+    used as a sanity check. *)
+val total_charge : Radial_grid.t -> float array -> float

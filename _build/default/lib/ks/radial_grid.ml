@@ -1,0 +1,41 @@
+type t = { r : float array; h : float; n : int }
+
+let make ~r_min ~r_max ~n =
+  if not (0.0 < r_min && r_min < r_max) || n < 8 then
+    invalid_arg "Radial_grid.make";
+  let h = Stdlib.log (r_max /. r_min) /. float_of_int (n - 1) in
+  let r = Array.init n (fun i -> r_min *. Stdlib.exp (float_of_int i *. h)) in
+  { r; h; n }
+
+let for_atom ~z ?(n = 6000) () =
+  make ~r_min:(1e-6 /. float_of_int z) ~r_max:40.0 ~n
+
+(* Trapezoid in x with Jacobian dr = r dx. *)
+let integrate g f =
+  let acc = ref 0.0 in
+  for i = 0 to g.n - 2 do
+    acc :=
+      !acc
+      +. (0.5 *. g.h *. ((f.(i) *. g.r.(i)) +. (f.(i + 1) *. g.r.(i + 1))))
+  done;
+  !acc
+
+let integrate_outward g f =
+  let out = Array.make g.n 0.0 in
+  for i = 1 to g.n - 1 do
+    out.(i) <-
+      out.(i - 1)
+      +. (0.5 *. g.h *. ((f.(i - 1) *. g.r.(i - 1)) +. (f.(i) *. g.r.(i))))
+  done;
+  out
+
+let integrate_inward g f =
+  let out = Array.make g.n 0.0 in
+  for i = g.n - 2 downto 0 do
+    out.(i) <-
+      out.(i + 1)
+      +. (0.5 *. g.h *. ((f.(i) *. g.r.(i)) +. (f.(i + 1) *. g.r.(i + 1))))
+  done;
+  out
+
+let tabulate g f = Array.map f g.r

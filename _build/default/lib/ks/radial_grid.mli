@@ -1,0 +1,37 @@
+(** Logarithmic radial grids for atomic Kohn-Sham calculations.
+
+    Atomic orbitals vary on the scale [1/Z] near the nucleus and decay over
+    tens of bohr, so the standard discretization is uniform in [x = ln r]:
+    [r_i = r_min exp(i h)]. All integrals then carry the Jacobian [r dx].
+
+    This grid underlies the "appropriate norms" part of the reproduction:
+    DFAs are normed against real systems (H, He), and the
+    {!Scf} solver evaluates the symbolic functionals of {!Registry} inside
+    an actual self-consistent Kohn-Sham loop on this grid. *)
+
+type t = private {
+  r : float array;  (** radii, increasing *)
+  h : float;  (** logarithmic step *)
+  n : int;
+}
+
+(** [make ~r_min ~r_max ~n] builds an [n]-point grid.
+    @raise Invalid_argument unless [0 < r_min < r_max] and [n >= 8]. *)
+val make : r_min:float -> r_max:float -> n:int -> t
+
+(** A grid adequate for elements up to argon: [r_min = 1e-6 / z]. *)
+val for_atom : z:int -> ?n:int -> unit -> t
+
+(** [integrate grid f] is the trapezoidal [∫ f(r) dr] with values [f]
+    sampled on the grid (Jacobian included). *)
+val integrate : t -> float array -> float
+
+(** [integrate_inward grid f] returns the running integral from each point
+    to the outer edge: [out.(i) = ∫_{r_i}^{r_max} f dr]. *)
+val integrate_inward : t -> float array -> float array
+
+(** [integrate_outward grid f]: [out.(i) = ∫_{r_min}^{r_i} f dr]. *)
+val integrate_outward : t -> float array -> float array
+
+(** Map a function of [r] over the grid. *)
+val tabulate : t -> (float -> float) -> float array

@@ -1,0 +1,158 @@
+type orbital = { n : int; l : int; occ : float }
+
+type result = {
+  energy : float;
+  eigenvalues : (orbital * float) list;
+  e_hartree : float;
+  e_xc : float;
+  density : float array;
+  iterations : int;
+  converged : bool;
+}
+
+(* Aufbau filling order up to argon. *)
+let shells = [ (1, 0); (2, 0); (2, 1); (3, 0); (3, 1) ]
+
+let occupations z =
+  if z < 1 || z > 18 then invalid_arg "Scf.occupations: 1 <= z <= 18";
+  let rec fill remaining = function
+    | [] -> []
+    | (n, l) :: rest ->
+        if remaining <= 0 then []
+        else begin
+          let capacity = 2 * ((2 * l) + 1) in
+          let occ = Stdlib.min remaining capacity in
+          { n; l; occ = float_of_int occ }
+          :: fill (remaining - occ) rest
+        end
+  in
+  fill z shells
+
+let four_pi = 4.0 *. Float.pi
+
+let solve ?grid ?xc ?(max_iter = 80) ?(tol = 1e-8) ?(mixing = 0.35) ~z () =
+  let grid =
+    match grid with Some g -> g | None -> Radial_grid.for_atom ~z ()
+  in
+  let xc =
+    Xc_potential.make
+      (match xc with Some f -> f | None -> Registry.find "vwn5")
+  in
+  let orbitals = occupations z in
+  let zf = float_of_int z in
+  let npts = grid.Radial_grid.n in
+  let v_ext = Radial_grid.tabulate grid (fun r -> -.zf /. r) in
+  (* Initial guess: Thomas-Fermi-flavoured screened hydrogenic density
+     normalized to z electrons. *)
+  let density =
+    ref
+      (let a = zf in
+       let raw =
+         Radial_grid.tabulate grid (fun r ->
+             Stdlib.exp (-2.0 *. a *. r /. (1.0 +. r)))
+       in
+       let q =
+         Radial_grid.integrate grid
+           (Array.mapi
+              (fun i d -> four_pi *. d *. grid.Radial_grid.r.(i) ** 2.0)
+              raw)
+       in
+       Array.map (fun d -> d *. zf /. q) raw)
+  in
+  let energy = ref Float.infinity in
+  let eigenvalues = ref [] in
+  let e_hartree = ref 0.0 and e_xc_v = ref 0.0 in
+  let converged = ref false in
+  let iterations = ref 0 in
+  (try
+     for it = 1 to max_iter do
+       iterations := it;
+       let v_h = Poisson.hartree grid !density in
+       let v_xc = Xc_potential.potential xc grid !density in
+       let v_eff =
+         Array.init npts (fun i -> v_ext.(i) +. v_h.(i) +. v_xc.(i))
+       in
+       (* Solve the radial states and rebuild the density. *)
+       let new_density = Array.make npts 0.0 in
+       let eigs =
+         List.map
+           (fun orb ->
+             let nodes = orb.n - orb.l - 1 in
+             let e, u =
+               Numerov.solve
+                 ~e_min:(-.(zf *. zf) -. 10.0)
+                 grid ~l:orb.l ~potential:v_eff ~nodes
+             in
+             Array.iteri
+               (fun i ui ->
+                 let r = grid.Radial_grid.r.(i) in
+                 new_density.(i) <-
+                   new_density.(i) +. (orb.occ *. ui *. ui /. (four_pi *. r *. r)))
+               u;
+             (orb, e))
+           orbitals
+       in
+       (* Energies from the *output* density. *)
+       let v_h_out = Poisson.hartree grid new_density in
+       let eh = Poisson.hartree_energy grid new_density v_h_out in
+       let exc = Xc_potential.energy xc grid new_density in
+       (* Double-counting correction uses the eigenvalues computed in the
+          *input* potential; near self-consistency input ~ output and the
+          expression converges to the true functional value. *)
+       let sum_eig =
+         List.fold_left (fun acc (orb, e) -> acc +. (orb.occ *. e)) 0.0 eigs
+       in
+       let int_n_vh_in =
+         Radial_grid.integrate grid
+           (Array.mapi
+              (fun i d ->
+                four_pi *. d *. v_h.(i) *. (grid.Radial_grid.r.(i) ** 2.0))
+              new_density)
+       in
+       let int_n_vxc_in =
+         Radial_grid.integrate grid
+           (Array.mapi
+              (fun i d ->
+                four_pi *. d *. v_xc.(i) *. (grid.Radial_grid.r.(i) ** 2.0))
+              new_density)
+       in
+       let e_total = sum_eig -. int_n_vh_in +. eh -. int_n_vxc_in +. exc in
+       eigenvalues := eigs;
+       e_hartree := eh;
+       e_xc_v := exc;
+       let delta = Float.abs (e_total -. !energy) in
+       energy := e_total;
+       (* Linear mixing. *)
+       for i = 0 to npts - 1 do
+         !density.(i) <-
+           ((1.0 -. mixing) *. !density.(i)) +. (mixing *. new_density.(i))
+       done;
+       if delta < tol && it > 3 then begin
+         converged := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  {
+    energy = !energy;
+    eigenvalues = !eigenvalues;
+    e_hartree = !e_hartree;
+    e_xc = !e_xc_v;
+    density = !density;
+    iterations = !iterations;
+    converged = !converged;
+  }
+
+let orbital_name orb =
+  Printf.sprintf "%d%c" orb.n
+    (match orb.l with 0 -> 's' | 1 -> 'p' | 2 -> 'd' | _ -> 'f')
+
+let pp_result ppf r =
+  Format.fprintf ppf "E_total = %.6f Ha (E_H = %.6f, E_xc = %.6f)%s@."
+    r.energy r.e_hartree r.e_xc
+    (if r.converged then "" else "  [NOT CONVERGED]");
+  List.iter
+    (fun (orb, e) ->
+      Format.fprintf ppf "  %s (occ %.0f): eps = %.6f Ha@." (orbital_name orb)
+        orb.occ e)
+    r.eigenvalues

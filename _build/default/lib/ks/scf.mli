@@ -1,0 +1,40 @@
+(** Self-consistent Kohn-Sham solver for spherical atoms (spin-unpolarized
+    LDA) — the "appropriately normed" half of the DFA story.
+
+    Non-empirical functionals are normed on exactly solvable or
+    exactly measured systems; the canonical norms are atoms. This solver
+    closes the loop: the {e same symbolic functionals} whose exact
+    conditions the verifier checks drive a real Kohn-Sham calculation whose
+    total energies can be compared against the standard reference values
+    (NIST LSD: H -0.4457, He -2.8348 hartree, with VWN correlation).
+
+    Method: central field approximation with Aufbau occupations; radial
+    bound states by Numerov node-counting bisection ({!Numerov}); Hartree
+    potential by cumulative integration ({!Poisson}); [v_xc] derived
+    symbolically ({!Xc_potential}); linear density mixing. *)
+
+type orbital = { n : int; l : int; occ : float }
+
+type result = {
+  energy : float;  (** total energy, hartree *)
+  eigenvalues : (orbital * float) list;
+  e_hartree : float;
+  e_xc : float;
+  density : float array;
+  iterations : int;
+  converged : bool;
+}
+
+(** Aufbau occupations for [1 <= z <= 18].
+    @raise Invalid_argument outside that range. *)
+val occupations : int -> orbital list
+
+(** [solve ~z ()] runs the SCF loop for atomic number [z].
+    [xc] defaults to VWN5 correlation (the parametrization behind the NIST
+    reference energies) on top of LDA exchange; pass any registered LDA to
+    compare parametrizations. *)
+val solve :
+  ?grid:Radial_grid.t -> ?xc:Registry.t -> ?max_iter:int -> ?tol:float ->
+  ?mixing:float -> z:int -> unit -> result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,45 @@
+type t = {
+  eps_tape : Compile.t;  (** eps_xc(rs) *)
+  v_tape : Compile.t;  (** v_xc(rs) *)
+}
+
+let rs_of_n n = Float.cbrt (3.0 /. (4.0 *. Float.pi *. n))
+
+let make (dfa : Registry.t) =
+  (match dfa.Registry.family, dfa.Registry.eps_c with
+  | Registry.Lda, Some _ -> ()
+  | _ -> invalid_arg "Xc_potential.make: need an LDA correlation functional");
+  let eps_xc = Expr.add Uniform.eps_x (Option.get dfa.Registry.eps_c) in
+  let rs = Dft_vars.rs in
+  (* v_xc = eps_xc - (rs/3) d eps_xc/d rs, symbolically. *)
+  let v_xc =
+    Simplify.with_nonneg
+      [ Dft_vars.rs_name ]
+      (Expr.sub eps_xc
+         (Expr.mul
+            (Expr.mul (Expr.rat 1 3) rs)
+            (Deriv.diff ~wrt:Dft_vars.rs_name eps_xc)))
+  in
+  let vars = [ Dft_vars.rs_name ] in
+  { eps_tape = Compile.compile ~vars eps_xc; v_tape = Compile.compile ~vars v_xc }
+
+let eps_xc_at t ~rs = Compile.run t.eps_tape [| rs |]
+let v_xc_at t ~rs = Compile.run t.v_tape [| rs |]
+
+let floor_density = 1e-30
+
+let potential t grid density =
+  Array.init grid.Radial_grid.n (fun i ->
+      let n = Float.max density.(i) floor_density in
+      v_xc_at t ~rs:(rs_of_n n))
+
+let energy t grid density =
+  let r = grid.Radial_grid.r in
+  let integrand =
+    Array.mapi
+      (fun i d ->
+        let n = Float.max d floor_density in
+        4.0 *. Float.pi *. d *. eps_xc_at t ~rs:(rs_of_n n) *. r.(i) *. r.(i))
+      density
+  in
+  Radial_grid.integrate grid integrand

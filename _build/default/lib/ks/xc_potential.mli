@@ -1,0 +1,32 @@
+(** LDA exchange-correlation potentials, derived {e symbolically} from the
+    registered functionals.
+
+    For an LDA, [E_xc = ∫ n eps_xc(n) d^3r] and the potential is
+    [v_xc = d(n eps_xc)/dn = eps_xc - (rs/3) d eps_xc / d rs]
+    (using [n d/dn = -(rs/3) d/drs]). Production DFT codes hand-derive and
+    hand-code this derivative per functional; here it falls out of
+    {!Deriv.diff} applied to the same symbolic [eps_xc] the verifier
+    checks — one definition, three consumers (verification, grid baseline,
+    Kohn-Sham solver), which is the point of keeping functionals symbolic.
+
+    Exchange is the LDA exchange [eps_x^unif]; correlation comes from the
+    chosen registered LDA functional. *)
+
+type t
+
+(** [make dfa] builds the xc machinery for an LDA correlation functional
+    (e.g. [Registry.find "vwn5"]).
+    @raise Invalid_argument if the functional is not an LDA with a
+    correlation part. *)
+val make : Registry.t -> t
+
+(** [potential t grid density] tabulates [v_xc(n(r))]. *)
+val potential : t -> Radial_grid.t -> float array -> float array
+
+(** [energy t grid density] is [E_xc = ∫ n eps_xc d^3r]. *)
+val energy : t -> Radial_grid.t -> float array -> float
+
+(** [eps_xc_at t ~rs] and [v_xc_at t ~rs] — pointwise access for tests. *)
+val eps_xc_at : t -> rs:float -> float
+
+val v_xc_at : t -> rs:float -> float

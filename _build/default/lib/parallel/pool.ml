@@ -1,0 +1,39 @@
+let default_workers () = Stdlib.max 1 (Domain.recommended_domain_count ())
+
+let map ~workers f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when workers <= 1 -> List.map f xs
+  | _ ->
+      let items = Array.of_list xs in
+      let n = Array.length items in
+      let results = Array.make n None in
+      let cursor = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add cursor 1 in
+          if i < n && Atomic.get failure = None then begin
+            (match f items.(i) with
+            | v -> results.(i) <- Some v
+            | exception e ->
+                (* Keep only the first failure; others are racing losers. *)
+                ignore (Atomic.compare_and_set failure None (Some e)));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let domains =
+        List.init (Stdlib.min workers n - 1) (fun _ -> Domain.spawn worker)
+      in
+      worker ();
+      List.iter Domain.join domains;
+      (match Atomic.get failure with Some e -> raise e | None -> ());
+      Array.to_list
+        (Array.map
+           (function Some v -> v | None -> assert false)
+           results)
+
+let iter ~workers f xs = ignore (map ~workers (fun x -> f x; ()) xs)

@@ -1,0 +1,1 @@
+lib/pb/numdiff.mli:

@@ -1,0 +1,1 @@
+lib/pb/pbcheck.ml: Array Compile Conditions Dft_vars Domain_spec Enhancement Float Format Lazy List Mesh Numdiff Option Registry String

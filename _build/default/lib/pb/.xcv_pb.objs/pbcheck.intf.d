@@ -1,0 +1,1 @@
+lib/pb/pbcheck.mli: Conditions Format Mesh Registry

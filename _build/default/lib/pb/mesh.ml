@@ -1,0 +1,44 @@
+let linspace lo hi n =
+  if n < 2 then invalid_arg "Mesh.linspace: need at least two samples";
+  Array.init n (fun i ->
+      lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)))
+
+type t = { axes : (string * float array) list }
+
+let make axes =
+  if axes = [] then invalid_arg "Mesh.make: no axes";
+  { axes }
+
+let shape m = List.map (fun (_, xs) -> Array.length xs) m.axes
+let size m = List.fold_left ( * ) 1 (shape m)
+
+let unrank m flat =
+  (* row-major: first axis slowest *)
+  let dims = Array.of_list (shape m) in
+  let k = Array.length dims in
+  let idx = Array.make k 0 in
+  let rec go flat i =
+    if i < 0 then ()
+    else begin
+      idx.(i) <- flat mod dims.(i);
+      go (flat / dims.(i)) (i - 1)
+    end
+  in
+  go flat (k - 1);
+  idx
+
+let point m flat =
+  let idx = unrank m flat in
+  List.mapi (fun i (name, xs) -> (name, xs.(idx.(i)))) m.axes
+
+let values m flat =
+  let idx = unrank m flat in
+  Array.of_list (List.mapi (fun i (_, xs) -> xs.(idx.(i))) m.axes)
+
+let stride m axis_index =
+  let dims = shape m in
+  let rec go i = function
+    | [] -> invalid_arg "Mesh.stride: axis out of range"
+    | _ :: rest -> if i = axis_index then List.fold_left ( * ) 1 rest else go (i + 1) rest
+  in
+  go 0 dims

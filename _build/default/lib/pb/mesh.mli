@@ -1,0 +1,24 @@
+(** Uniform grids for the Pederson-Burke baseline (paper Section IV-A). *)
+
+(** [linspace lo hi n] is [n >= 2] evenly spaced samples, inclusive of both
+    endpoints.
+    @raise Invalid_argument if [n < 2]. *)
+val linspace : float -> float -> int -> float array
+
+(** An N-dimensional mesh: named axes with their sample arrays, iterated in
+    row-major (first axis slowest) order. *)
+type t = { axes : (string * float array) list }
+
+val make : (string * float array) list -> t
+val shape : t -> int list
+val size : t -> int
+
+(** [point mesh flat_index] is the coordinate assignment of a flat index. *)
+val point : t -> int -> (string * float) list
+
+(** [values mesh flat_index] is the raw coordinate array (axis order). *)
+val values : t -> int -> float array
+
+(** [stride mesh axis_index] is the flat-index stride of one step along the
+    axis. *)
+val stride : t -> int -> int

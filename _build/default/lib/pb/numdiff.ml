@@ -1,0 +1,74 @@
+let gradient1d ys xs =
+  let n = Array.length ys in
+  if Array.length xs <> n then invalid_arg "Numdiff.gradient1d: length mismatch";
+  if n < 2 then invalid_arg "Numdiff.gradient1d: need at least 2 samples";
+  let out = Array.make n 0.0 in
+  (* Interior: non-uniform second-order central difference. *)
+  for i = 1 to n - 2 do
+    let hs = xs.(i) -. xs.(i - 1) and hd = xs.(i + 1) -. xs.(i) in
+    let a = -.hd /. (hs *. (hs +. hd)) in
+    let b = (hd -. hs) /. (hs *. hd) in
+    let c = hs /. (hd *. (hs +. hd)) in
+    out.(i) <- (a *. ys.(i - 1)) +. (b *. ys.(i)) +. (c *. ys.(i + 1))
+  done;
+  if n = 2 then begin
+    let d = (ys.(1) -. ys.(0)) /. (xs.(1) -. xs.(0)) in
+    out.(0) <- d;
+    out.(1) <- d
+  end
+  else begin
+    (* Second-order one-sided stencils at the ends (as numpy.gradient with
+       edge_order=2). *)
+    let one_sided i0 i1 i2 =
+      let h1 = xs.(i1) -. xs.(i0) and h2 = xs.(i2) -. xs.(i1) in
+      let a = -.(2.0 *. h1 +. h2) /. (h1 *. (h1 +. h2)) in
+      let b = (h1 +. h2) /. (h1 *. h2) in
+      let c = -.h1 /. (h2 *. (h1 +. h2)) in
+      (a *. ys.(i0)) +. (b *. ys.(i1)) +. (c *. ys.(i2))
+    in
+    out.(0) <- one_sided 0 1 2;
+    let m = n - 1 in
+    let h1 = xs.(m - 1) -. xs.(m - 2) and h2 = xs.(m) -. xs.(m - 1) in
+    let a = h2 /. (h1 *. (h1 +. h2)) in
+    let b = -.(h1 +. h2) /. (h1 *. h2) in
+    let c = (h1 +. 2.0 *. h2) /. (h2 *. (h1 +. h2)) in
+    out.(m) <- (a *. ys.(m - 2)) +. (b *. ys.(m - 1)) +. (c *. ys.(m))
+  end;
+  out
+
+let second_derivative1d ys xs = gradient1d (gradient1d ys xs) xs
+
+let gradient_axis values ~shape ~axis ~coords =
+  let dims = Array.of_list shape in
+  let k = Array.length dims in
+  if axis < 0 || axis >= k then invalid_arg "Numdiff.gradient_axis: bad axis";
+  let n_axis = dims.(axis) in
+  if Array.length coords <> n_axis then
+    invalid_arg "Numdiff.gradient_axis: coords length mismatch";
+  let stride =
+    let s = ref 1 in
+    for i = axis + 1 to k - 1 do
+      s := !s * dims.(i)
+    done;
+    !s
+  in
+  let total = Array.length values in
+  let out = Array.make total 0.0 in
+  let line = Array.make n_axis 0.0 in
+  (* Enumerate all lines along [axis]: flat indices i with axis-coordinate 0
+     are the line anchors. *)
+  let block = stride * n_axis in
+  let nblocks = total / block in
+  for b = 0 to nblocks - 1 do
+    for off = 0 to stride - 1 do
+      let anchor = (b * block) + off in
+      for j = 0 to n_axis - 1 do
+        line.(j) <- values.(anchor + (j * stride))
+      done;
+      let d = gradient1d line coords in
+      for j = 0 to n_axis - 1 do
+        out.(anchor + (j * stride)) <- d.(j)
+      done
+    done
+  done;
+  out

@@ -1,0 +1,22 @@
+(** Finite-difference gradients equivalent to [numpy.gradient] — the
+    numerical-derivative step of the Pederson-Burke methodology that the
+    paper's symbolic encoder deliberately avoids.
+
+    Second-order central differences in the interior, second-order one-sided
+    stencils at the boundaries, supporting non-uniform spacing exactly like
+    NumPy. *)
+
+(** [gradient1d ys xs] differentiates samples [ys] taken at coordinates
+    [xs].
+    @raise Invalid_argument if lengths differ or fewer than 2 samples. *)
+val gradient1d : float array -> float array -> float array
+
+(** [gradient_axis values ~shape ~axis ~coords] differentiates a flattened
+    row-major N-d array along [axis]. *)
+val gradient_axis :
+  float array -> shape:int list -> axis:int -> coords:float array ->
+  float array
+
+(** [second_derivative1d ys xs] is [gradient1d (gradient1d ys xs) xs] — the
+    iterated-gradient scheme PB use for second derivatives. *)
+val second_derivative1d : float array -> float array -> float array

@@ -1,0 +1,37 @@
+(** The Pederson-Burke grid-search baseline (paper Section IV-A): sample the
+    DFA over a uniform mesh, approximate the derivatives of [F_c]
+    numerically, and check each local condition pointwise. The condition is
+    declared satisfied iff it holds at every grid point.
+
+    This is the state-of-the-art methodology the paper compares against in
+    Table II and the top rows of Figures 1 and 2. It scales trivially but
+    offers no guarantees: violations between grid points are missed, and the
+    finite-difference derivatives inject noise near domain edges. *)
+
+type result = {
+  dfa : string;
+  condition : Conditions.id;
+  mesh : Mesh.t;
+  satisfied_mask : bool array;  (** per grid point, row-major *)
+  satisfied : bool;  (** all points pass *)
+  violation_fraction : float;
+  first_violations : (string * float) list list;
+      (** up to 10 violating grid points *)
+}
+
+(** [check ?n ?n_alpha dfa cond] runs the baseline; [None] when the
+    condition does not apply to the DFA. [n] is the per-axis sample count
+    for [rs] and [s] (default 100); [n_alpha] the alpha-axis count for
+    meta-GGAs (default 20). *)
+val check :
+  ?n:int -> ?n_alpha:int -> Registry.t -> Conditions.id -> result option
+
+(** [check_all dfas] runs every applicable pair. *)
+val check_all : ?n:int -> ?n_alpha:int -> Registry.t list -> result list
+
+(** [violation_boundary_s result] — for 2D results with violations, the
+    smallest [s] among violating points (the paper quotes such boundaries,
+    e.g. LYP EC1 violations at [s > 1.6563]). *)
+val violation_boundary_s : result -> float option
+
+val pp_summary : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/solver/box.ml: Array Float Format Hashtbl Interval List Printf String

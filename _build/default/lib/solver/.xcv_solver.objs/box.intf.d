@@ -1,0 +1,1 @@
+lib/solver/box.mli: Format Ieval Interval

@@ -1,0 +1,1 @@
+lib/solver/form.ml: Box Eval Expr Float Format Ieval Interval List Printer String

@@ -1,0 +1,1 @@
+lib/solver/form.mli: Box Expr Format

@@ -1,0 +1,1 @@
+lib/solver/hc4.ml: Array Box Eval Expr Float Form Hashtbl Ieval Interval List Rat Stdlib Transcend

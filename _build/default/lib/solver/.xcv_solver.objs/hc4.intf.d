@@ -1,0 +1,1 @@
+lib/solver/hc4.mli: Box Form

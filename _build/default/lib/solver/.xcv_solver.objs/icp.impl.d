@@ -1,0 +1,1 @@
+lib/solver/icp.ml: Box Form Format Hc4 List

@@ -1,0 +1,1 @@
+lib/solver/icp.mli: Box Form Format Hc4

@@ -1,0 +1,1 @@
+lib/solver/taylor.ml: Array Box Deriv Expr Float Form Hc4 Ieval Interval List Simplify

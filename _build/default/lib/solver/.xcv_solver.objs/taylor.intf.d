@@ -1,0 +1,1 @@
+lib/solver/taylor.mli: Box Form Hc4 Interval

@@ -1,0 +1,72 @@
+(** Axis-aligned boxes: the search states of the branch-and-prune solver and
+    the subdomains of the paper's Algorithm 1.
+
+    A box maps a fixed, ordered set of variable names to intervals. The
+    variable order is fixed at construction and shared by all boxes derived
+    from it (splitting, contraction), so positional access is safe. *)
+
+type t
+
+(** [make bindings] builds a box; order of [bindings] becomes the variable
+    order.
+    @raise Invalid_argument on duplicate names or an empty binding list. *)
+val make : (string * Interval.t) list -> t
+
+val vars : t -> string list
+val dim : t -> int
+
+(** [get box v] is the interval of variable [v].
+    @raise Not_found if [v] is not a box variable. *)
+val get : t -> string -> Interval.t
+
+val get_idx : t -> int -> Interval.t
+
+(** [set box v i] is a functional update.
+    @raise Not_found if [v] is not a box variable. *)
+val set : t -> string -> Interval.t -> t
+
+val set_idx : t -> int -> Interval.t -> t
+
+(** A box is empty as soon as one of its intervals is. *)
+val is_empty : t -> bool
+
+val to_env : t -> Ieval.env
+
+(** [max_width box] is the largest interval width across dimensions, the
+    convergence measure of both the solver ([delta]) and Algorithm 1's
+    threshold [t]. *)
+val max_width : t -> float
+
+(** Index of a widest dimension (ties broken toward lower index), skipping
+    degenerate point dimensions.
+    @raise Invalid_argument if all dimensions are points. *)
+val widest_dim : t -> int
+
+(** [split box] bisects along {!widest_dim}. *)
+val split : t -> t * t
+
+(** [split_dim box i] bisects along dimension [i]. *)
+val split_dim : t -> int -> t * t
+
+(** [split_all box] bisects along {e every} splittable dimension at once —
+    [2^k] children — matching the paper's [split(D)], which "partitions each
+    input dimension of D into two equal parts". *)
+val split_all : t -> t list
+
+(** [midpoint box] is the centre point, as an assignment. *)
+val midpoint : t -> (string * float) list
+
+(** [mem point box] tests pointwise membership (ignores extra bindings in
+    [point]). *)
+val mem : (string * float) list -> t -> bool
+
+(** [meet a b] intersects dimension-wise.
+    @raise Invalid_argument if variable orders differ. *)
+val meet : t -> t -> t
+
+(** [volume box] is the product of widths (infinite if unbounded). *)
+val volume : t -> float
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,271 @@
+open Expr
+
+type result = Contracted of Box.t | Infeasible
+
+let target_of_relation = function
+  | Form.Le0 | Form.Lt0 -> Interval.make Float.neg_infinity 0.0
+  | Form.Ge0 | Form.Gt0 -> Interval.make 0.0 Float.infinity
+  | Form.Eq0 -> Interval.zero
+
+(* Prefix/suffix folds used to compute, for every operand of an n-ary node,
+   the combination of all *other* operands in O(n). *)
+let others combine unit xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let prefix = Array.make (n + 1) unit in
+  for i = 0 to n - 1 do
+    prefix.(i + 1) <- combine prefix.(i) arr.(i)
+  done;
+  let suffix = Array.make (n + 1) unit in
+  for i = n - 1 downto 0 do
+    suffix.(i) <- combine arr.(i) suffix.(i + 1)
+  done;
+  List.init n (fun i -> combine prefix.(i) suffix.(i + 1))
+
+(* Inverse of y = x^n for integer n: the set { x | x^n in r }, returned as a
+   list of disjoint branches. The caller meets each branch with the child's
+   current domain *before* hulling — intersecting the hull instead would
+   bridge the gap between the positive and negative branches and lose most
+   of the contraction (e.g. x^2 >= 4 on [0, 10] must give [2, 10], not
+   [0, 10]). *)
+let rec backward_pow_int r n =
+  if n = 0 then [ Interval.top ] (* x^0 = 1 constrains x not at all *)
+  else if n < 0 then backward_pow_int (Interval.inv r) (-n)
+  else begin
+    let p = 1.0 /. float_of_int n in
+    let pos = Interval.pow (Interval.meet r Interval.nonneg) p in
+    let neg_src =
+      if n land 1 = 1 then Interval.meet (Interval.neg r) Interval.nonneg
+      else Interval.meet r Interval.nonneg
+    in
+    [ pos; Interval.neg (Interval.pow neg_src p) ]
+  end
+
+let backward_pow_const r p =
+  if Float.is_integer p && Float.abs p <= 1073741823.0 then
+    backward_pow_int r (int_of_float p)
+  else if p = 0.0 then [ Interval.top ]
+  else
+    (* Non-integer exponent: base is >= 0 by domain semantics. *)
+    [ Interval.pow (Interval.meet r Interval.nonneg) (1.0 /. p) ]
+
+let backward_abs r =
+  let r' = Interval.meet r Interval.nonneg in
+  if Interval.is_empty r' then [ Interval.empty ]
+  else [ r'; Interval.neg r' ]
+
+let pi = 4.0 *. Stdlib.atan 1.0
+
+let revise box atom =
+  let e = atom.Form.expr in
+  let env = Box.to_env box in
+  (* ---- forward pass -------------------------------------------------- *)
+  let fwd : (int, Interval.t) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in
+  (* children-first order *)
+  let rec forward e =
+    match Hashtbl.find_opt fwd e.id with
+    | Some i -> i
+    | None ->
+        let i =
+          match e.node with
+          | Num r -> Interval.point (Rat.to_float r)
+          | Flt f -> Interval.point f
+          | Var v -> (
+              match List.assoc_opt v env with
+              | Some i -> i
+              | None -> raise (Eval.Unbound_variable v))
+          | Add terms ->
+              List.fold_left
+                (fun acc t -> Interval.add acc (forward t))
+                Interval.zero terms
+          | Mul factors ->
+              List.fold_left
+                (fun acc f -> Interval.mul acc (forward f))
+                Interval.one factors
+          | Pow (b, x) -> Interval.pow_expr (forward b) (forward x)
+          | Apply (op, a) -> Ieval.apply_unop op (forward a)
+          | Piecewise (branches, default) ->
+              let rec walk acc = function
+                | [] -> Interval.join acc (forward default)
+                | (g, body) :: rest -> (
+                    match
+                      Ieval.guard_status_of_interval g.grel (forward g.cond)
+                    with
+                    | `True -> Interval.join acc (forward body)
+                    | `False ->
+                        (* still record dead branches in fwd for uniformity *)
+                        ignore (forward body);
+                        walk acc rest
+                    | `Unknown -> walk (Interval.join acc (forward body)) rest)
+              in
+              walk Interval.empty branches
+        in
+        Hashtbl.add fwd e.id i;
+        order := e :: !order;
+        i
+  in
+  let root_fwd = forward e in
+  (* ---- backward pass ------------------------------------------------- *)
+  let req : (int, Interval.t) Hashtbl.t = Hashtbl.create 256 in
+  let requirement n =
+    match Hashtbl.find_opt req n.id with
+    | Some r -> r
+    | None -> Hashtbl.find fwd n.id
+  in
+  let tighten child contribution =
+    Hashtbl.replace req child.id (Interval.meet (requirement child) contribution)
+  in
+  (* Union-of-branches contribution: meet each branch with the current
+     requirement first, then hull, preserving gaps the union straddles
+     (crucial for even powers: x^2 >= 4 on [0,10] must yield [2,10]). *)
+  let tighten_branches child branches =
+    let cur = requirement child in
+    let joined =
+      List.fold_left
+        (fun acc b -> Interval.join acc (Interval.meet cur b))
+        Interval.empty branches
+    in
+    Hashtbl.replace req child.id joined
+  in
+  let root_req = Interval.meet root_fwd (target_of_relation atom.Form.rel) in
+  if Interval.is_empty root_req then Infeasible
+  else begin
+    Hashtbl.replace req e.id root_req;
+    let infeasible = ref false in
+    let propagate n =
+      let r = requirement n in
+      if Interval.is_empty r then infeasible := true
+      else
+        match n.node with
+        | Num _ | Flt _ | Var _ -> ()
+        | Add terms ->
+            let fwd_of t = Hashtbl.find fwd t.id in
+            let rest_sums =
+              others Interval.add Interval.zero (List.map fwd_of terms)
+            in
+            List.iter2
+              (fun t rest -> tighten t (Interval.sub r rest))
+              terms rest_sums
+        | Mul factors ->
+            let fwd_of t = Hashtbl.find fwd t.id in
+            let rest_prods =
+              others Interval.mul Interval.one (List.map fwd_of factors)
+            in
+            List.iter2
+              (fun t rest ->
+                (* x * rest = r  =>  x in r / rest, provided rest has no
+                   zero; Interval.div returns top across zero, a no-op. *)
+                if Interval.is_empty rest then ()
+                else tighten t (Interval.div r rest))
+              factors rest_prods
+        | Pow (b, x) -> (
+            match as_const x with
+            | Some p -> tighten_branches b (backward_pow_const r p)
+            | None ->
+                (* Variable exponent: contract the exponent when the base is
+                   certainly > 1 or in (0, 1): y = log r / log b. *)
+                let fb = Hashtbl.find fwd b.id in
+                if Interval.certainly_gt fb 0.0 then begin
+                  let logb = Transcend.log fb in
+                  let logr = Transcend.log (Interval.meet r Interval.nonneg) in
+                  if
+                    (not (Interval.is_empty logr))
+                    && not (Interval.mem 0.0 logb)
+                  then tighten x (Interval.div logr logb)
+                end)
+        | Apply (op, a) -> (
+            match op with
+            | Exp -> tighten a (Transcend.log r)
+            | Log -> tighten a (Transcend.exp r)
+            | Tanh -> tighten a (Transcend.atanh r)
+            | Atan -> tighten a (Transcend.tan_on_principal r)
+            | Abs -> tighten_branches a (backward_abs r)
+            | Lambert_w -> tighten a (Transcend.w_inverse r)
+            | Sin ->
+                (* Only invert within the principal monotone branch. *)
+                let fa = Hashtbl.find fwd a.id in
+                if
+                  Interval.is_bounded fa
+                  && Interval.inf fa >= -.pi /. 2.0
+                  && Interval.sup fa <= pi /. 2.0
+                then tighten a (Transcend.asin_hull r)
+            | Cos ->
+                let fa = Hashtbl.find fwd a.id in
+                if
+                  Interval.is_bounded fa
+                  && Interval.inf fa >= 0.0
+                  && Interval.sup fa <= pi
+                then tighten a (Transcend.acos_hull r))
+        | Piecewise (branches, default) ->
+            (* Propagate into a branch only when it is certainly the one
+               taken on the whole box. *)
+            let rec walk = function
+              | [] -> tighten default r
+              | (g, body) :: rest -> (
+                  match
+                    Ieval.guard_status_of_interval g.grel
+                      (Hashtbl.find fwd g.cond.id)
+                  with
+                  | `True -> tighten body r
+                  | `False -> walk rest
+                  | `Unknown -> ())
+            in
+            walk branches
+    in
+    (* Nodes were consed onto [order] in post-order (children pushed before
+       parents), so the list head-first runs parents-first: each node's
+       requirement is final before its children are tightened. *)
+    List.iter (fun n -> if not !infeasible then propagate n) !order;
+    if !infeasible then Infeasible
+    else begin
+      (* Read contracted variable domains. *)
+      let contracted = ref box in
+      let failed = ref false in
+      List.iter
+        (fun n ->
+          match n.node with
+          | Var v -> (
+              match Hashtbl.find_opt req n.id with
+              | Some r ->
+                  let r = Interval.meet r (Box.get box v) in
+                  if Interval.is_empty r then failed := true
+                  else contracted := Box.set !contracted v r
+              | None -> ())
+          | _ -> ())
+        !order;
+      if !failed then Infeasible else Contracted !contracted
+    end
+  end
+
+let improvement before after =
+  (* Largest relative width reduction over dimensions. *)
+  let n = Box.dim before in
+  let best = ref 0.0 in
+  for i = 0 to n - 1 do
+    let wb = Interval.width (Box.get_idx before i) in
+    let wa = Interval.width (Box.get_idx after i) in
+    if wb > 0.0 && Float.is_finite wb then
+      best := Float.max !best ((wb -. wa) /. wb)
+  done;
+  !best
+
+let contract box formula ~rounds =
+  let rec sweep box k =
+    if k >= rounds then Contracted box
+    else begin
+      let rec apply box = function
+        | [] -> Contracted box
+        | a :: rest -> (
+            match revise box a with
+            | Infeasible -> Infeasible
+            | Contracted box' -> apply box' rest)
+      in
+      match apply box formula with
+      | Infeasible -> Infeasible
+      | Contracted box' ->
+          if improvement box box' < 0.01 then Contracted box'
+          else sweep box' (k + 1)
+    end
+  in
+  sweep box 0

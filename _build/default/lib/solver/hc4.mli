@@ -1,0 +1,28 @@
+(** HC4-revise: forward-backward interval constraint propagation.
+
+    This is the contractor at the heart of the δ-complete decision procedure
+    (dReal's ICP core uses the same scheme). Given an atom [e rel 0] and a
+    box, it:
+
+    + evaluates the expression DAG forward with interval arithmetic, caching
+      one interval per distinct subterm;
+    + seeds the root with the relation's target interval (e.g. [[-inf, 0]]
+      for [e <= 0]) and propagates {e requirements} backward through each
+      operator's partial inverses, visiting the DAG in reverse topological
+      order so that a shared subterm meets the requirements of {e all} its
+      parents in one linear pass;
+    + reads the contracted variable domains off the requirement table.
+
+    The result is a box that contains every point of the input box satisfying
+    the atom. An empty requirement anywhere proves the atom unsatisfiable on
+    the box. *)
+
+type result = Contracted of Box.t | Infeasible
+
+(** [revise box atom] contracts [box] with one atom. *)
+val revise : Box.t -> Form.atom -> result
+
+(** [contract box formula ~rounds] applies {!revise} for every atom of the
+    conjunction repeatedly, up to [rounds] sweeps or until a sweep improves
+    no dimension by more than 1%. *)
+val contract : Box.t -> Form.t -> rounds:int -> result

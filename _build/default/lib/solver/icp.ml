@@ -1,0 +1,94 @@
+type verdict =
+  | Unsat
+  | Sat of { model : (string * float) list; certified : bool }
+  | Timeout
+
+type stats = { expansions : int; prunes : int; max_depth : int }
+
+type config = {
+  delta : float;
+  fuel : int;
+  contractor_rounds : int;
+  sample_check : bool;
+}
+
+let default_config =
+  { delta = 1e-3; fuel = 5_000; contractor_rounds = 4; sample_check = true }
+
+let solve ?(contractors = []) cfg box formula =
+  let expansions = ref 0 and prunes = ref 0 and max_depth = ref 0 in
+  let stats () =
+    { expansions = !expansions; prunes = !prunes; max_depth = !max_depth }
+  in
+  (* Worklist of (box, depth), depth-first. *)
+  let rec loop = function
+    | [] -> (Unsat, stats ())
+    | (box, depth) :: rest ->
+        if !expansions >= cfg.fuel then (Timeout, stats ())
+        else begin
+          incr expansions;
+          if depth > !max_depth then max_depth := depth;
+          let contracted =
+            match Hc4.contract box formula ~rounds:cfg.contractor_rounds with
+            | Hc4.Infeasible -> Hc4.Infeasible
+            | Hc4.Contracted box ->
+                (* extra pipeline stages (e.g. the mean-value-form
+                   contractor), each sound on its own *)
+                List.fold_left
+                  (fun acc stage ->
+                    match acc with
+                    | Hc4.Infeasible -> Hc4.Infeasible
+                    | Hc4.Contracted b -> stage b)
+                  (Hc4.Contracted box) contractors
+          in
+          match contracted with
+          | Hc4.Infeasible ->
+              incr prunes;
+              loop rest
+          | Hc4.Contracted box ->
+              if Box.is_empty box then begin
+                incr prunes;
+                loop rest
+              end
+              else begin
+                let statuses =
+                  List.map (fun a -> Form.status_on box a) formula
+                in
+                if List.for_all (fun s -> s = `Holds) statuses then
+                  (* Every point of the box is a model. *)
+                  (Sat { model = Box.midpoint box; certified = true }, stats ())
+                else if List.exists (fun s -> s = `Fails) statuses then begin
+                  incr prunes;
+                  loop rest
+                end
+                else begin
+                  let mid = Box.midpoint box in
+                  if cfg.sample_check && Form.all_hold_at mid formula then
+                    (* A float-arithmetic witness: not box-certified, but it
+                       will pass the caller's valid(x) re-check. *)
+                    (Sat { model = mid; certified = false }, stats ())
+                  else if Box.max_width box <= cfg.delta then
+                    (* δ-SAT: cannot decide at this resolution. *)
+                    (Sat { model = mid; certified = false }, stats ())
+                  else begin
+                    let b1, b2 = Box.split box in
+                    loop ((b1, depth + 1) :: (b2, depth + 1) :: rest)
+                  end
+                end
+              end
+        end
+  in
+  loop [ (box, 0) ]
+
+let pp_verdict ppf = function
+  | Unsat -> Format.pp_print_string ppf "unsat"
+  | Sat { model; certified } ->
+      Format.fprintf ppf "%s-sat {"
+        (if certified then "certified" else "delta");
+      List.iteri
+        (fun i (v, x) ->
+          if i > 0 then Format.fprintf ppf ", ";
+          Format.fprintf ppf "%s = %.6g" v x)
+        model;
+      Format.fprintf ppf "}"
+  | Timeout -> Format.pp_print_string ppf "timeout"

@@ -1,0 +1,53 @@
+(** Branch-and-prune δ-complete decision procedure — the drop-in replacement
+    for the dReal solver used by XCVerifier.
+
+    [solve cfg box formula] decides the satisfiability of the conjunction
+    over the box:
+
+    - {!Unsat}: proved — no point of the box satisfies the formula. Because
+      interval evaluation over-approximates, this verdict is sound.
+    - {!Sat}: a model is returned. When [certified] is true, an entire
+      sub-box was shown to satisfy every atom, so the model is a true
+      solution. When false, the model is the midpoint of a box smaller than
+      [delta] on which the atoms could not be decided — the δ-SAT case; the
+      caller must run the paper's [valid(x)] check and may find the model
+      spurious (Algorithm 1's {e inconclusive} outcome).
+    - {!Timeout}: the fuel budget (number of box expansions) was exhausted.
+      Fuel replaces the paper's two-hour wall-clock limit with a
+      deterministic, machine-independent measure.
+
+    The search is depth-first; each expanded box is first narrowed by the
+    {!Hc4} contractor, then tested, then bisected along its widest
+    dimension. A floating-point sample at the box midpoint accelerates SAT
+    detection (counterexamples in large violation regions are typically found
+    within a handful of expansions). *)
+
+type verdict =
+  | Unsat
+  | Sat of { model : (string * float) list; certified : bool }
+  | Timeout
+
+type stats = {
+  expansions : int;  (** boxes taken off the worklist *)
+  prunes : int;  (** boxes discarded as infeasible by contraction *)
+  max_depth : int;  (** deepest bisection level reached *)
+}
+
+type config = {
+  delta : float;  (** box-width threshold for the δ-SAT verdict *)
+  fuel : int;  (** maximum box expansions before {!Timeout} *)
+  contractor_rounds : int;  (** HC4 sweeps per expansion *)
+  sample_check : bool;  (** probe box midpoints in float arithmetic *)
+}
+
+val default_config : config
+
+(** [solve ?contractors cfg box formula] decides the conjunction. Optional
+    [contractors] are extra pipeline stages applied after each HC4
+    contraction (e.g. {!Taylor.contractor}); each must be sound (never
+    discard a satisfying point). *)
+val solve :
+  ?contractors:(Box.t -> Hc4.result) list ->
+  config -> Box.t -> Form.t -> verdict * stats
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,127 @@
+open Expr
+
+type prepared = {
+  atom : Form.atom;
+  grads : (string * Expr.t) list;
+  guards : Expr.guard list;  (** every piecewise guard inside the atom *)
+}
+
+let collect_guards e =
+  fold_dag
+    (fun e acc ->
+      match e.node with
+      | Piecewise (branches, _) -> List.map fst branches @ acc
+      | _ -> acc)
+    e []
+
+let prepare (atom : Form.atom) =
+  let grads =
+    List.map
+      (fun v -> (v, Simplify.simplify (Deriv.diff ~wrt:v atom.Form.expr)))
+      (Expr.vars atom.Form.expr)
+  in
+  { atom; grads; guards = collect_guards atom.Form.expr }
+
+let target_of_relation = function
+  | Form.Le0 | Form.Lt0 -> Interval.make Float.neg_infinity 0.0
+  | Form.Ge0 | Form.Gt0 -> Interval.make 0.0 Float.infinity
+  | Form.Eq0 -> Interval.zero
+
+(* The mean value form is only valid where f is differentiable: every
+   piecewise guard must be decided over the whole box. *)
+let differentiable prepared env =
+  List.for_all
+    (fun g ->
+      match Ieval.guard_status env g with
+      | `True | `False -> true
+      | `Unknown -> false)
+    prepared.guards
+
+let deviations prepared box =
+  (* (variable, gradient enclosure, X_i - m_i) per dimension. *)
+  let env = Box.to_env box in
+  List.map
+    (fun (v, grad) ->
+      let xi = Box.get box v in
+      let mi = Interval.midpoint xi in
+      let centred =
+        Interval.of_bounds
+          (Interval.lo_down (Interval.inf xi -. mi))
+          (Interval.hi_up (Interval.sup xi -. mi))
+      in
+      (v, Ieval.eval env grad, centred))
+    prepared.grads
+
+let midpoint_env box =
+  List.map (fun (v, x) -> (v, Interval.point x)) (Box.midpoint box)
+
+let enclosure prepared box =
+  let env = Box.to_env box in
+  let natural = Ieval.eval env prepared.atom.Form.expr in
+  if not (differentiable prepared env) then natural
+  else begin
+    let fm = Ieval.eval (midpoint_env box) prepared.atom.Form.expr in
+    if Interval.is_empty fm then natural
+    else begin
+      let mvf =
+        List.fold_left
+          (fun acc (_, g, dx) -> Interval.add acc (Interval.mul g dx))
+          fm (deviations prepared box)
+      in
+      Interval.meet natural mvf
+    end
+  end
+
+let contract prepared box =
+  let env = Box.to_env box in
+  let target = target_of_relation prepared.atom.Form.rel in
+  if not (differentiable prepared env) then Hc4.Contracted box
+  else begin
+    let fm = Ieval.eval (midpoint_env box) prepared.atom.Form.expr in
+    if Interval.is_empty fm then
+      (* Midpoint outside the expression's domain (possible on boxes that
+         straddle a domain boundary): no sound linearization point. *)
+      Hc4.Contracted box
+    else begin
+      let devs = deviations prepared box in
+      let terms = List.map (fun (_, g, dx) -> Interval.mul g dx) devs in
+      let total =
+        List.fold_left Interval.add fm terms
+      in
+      if Interval.is_empty (Interval.meet total target) then Hc4.Infeasible
+      else begin
+        (* Solve the linear form for each variable in turn:
+           g_i (x_i - m_i) in target - f(m) - sum_{j<>i} terms_j. *)
+        let arr = Array.of_list terms in
+        let n = Array.length arr in
+        let prefix = Array.make (n + 1) fm in
+        for i = 0 to n - 1 do
+          prefix.(i + 1) <- Interval.add prefix.(i) arr.(i)
+        done;
+        let suffix = Array.make (n + 1) Interval.zero in
+        for i = n - 1 downto 0 do
+          suffix.(i) <- Interval.add arr.(i) suffix.(i + 1)
+        done;
+        let box' = ref box in
+        let infeasible = ref false in
+        List.iteri
+          (fun i (v, g, _) ->
+            if (not !infeasible) && not (Interval.mem 0.0 g) then begin
+              let others = Interval.add prefix.(i) suffix.(i + 1) in
+              let rhs = Interval.div (Interval.sub target others) g in
+              let xi = Box.get !box' v in
+              let mi = Interval.midpoint xi in
+              let shifted =
+                Interval.add rhs (Interval.point mi)
+              in
+              let narrowed = Interval.meet xi shifted in
+              if Interval.is_empty narrowed then infeasible := true
+              else box' := Box.set !box' v narrowed
+            end)
+          devs;
+        if !infeasible then Hc4.Infeasible else Hc4.Contracted !box'
+      end
+    end
+  end
+
+let contractor prepared box = contract prepared box

@@ -1,0 +1,44 @@
+(** Mean-value-form (first-order interval Taylor) contractor.
+
+    The natural interval extension of a DFA expression suffers badly from
+    the dependency problem (the same [rs] appears dozens of times). For a
+    box [X] with midpoint [m], the mean value theorem gives the alternative
+    enclosure
+
+    [f(X) ⊆ f(m) + Σ_i ∂f/∂x_i(X) (X_i − m_i)],
+
+    which is tighter than the natural extension when the box is small (its
+    overestimate shrinks quadratically with box width instead of linearly).
+    Besides the sharper satisfiability test, the linear form can be solved
+    for each variable, contracting [X_i] whenever the gradient component
+    does not straddle zero — a Newton-like step the plain HC4 contractor
+    cannot make.
+
+    Soundness requires differentiability on the box: a prepared contractor
+    detects piecewise subterms whose guards are undecided over the box and
+    degrades to a no-op there (SCAN's switching function around
+    [alpha = 1]).
+
+    Gradients are computed symbolically at {!prepare} time (on the calling
+    domain — expression construction is not thread-safe), so the contractor
+    itself is construction-free and can run inside parallel solver calls. *)
+
+type prepared
+
+(** [prepare atom] differentiates the atom's expression with respect to
+    each of its free variables and records its piecewise guards. *)
+val prepare : Form.atom -> prepared
+
+(** [contract prepared box] returns a contracted box or proves the atom
+    unsatisfiable on it. The result never excludes a point of [box]
+    satisfying the atom. *)
+val contract : prepared -> Box.t -> Hc4.result
+
+(** [contractor prepared] is [contract prepared] as a pipeline stage for
+    {!Icp.solve}. *)
+val contractor : prepared -> Box.t -> Hc4.result
+
+(** [enclosure prepared box] is the mean-value-form enclosure of the atom's
+    expression (already met with the natural extension) — exposed for tests
+    and diagnostics. *)
+val enclosure : prepared -> Box.t -> Interval.t

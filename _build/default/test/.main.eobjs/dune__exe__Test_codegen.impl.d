@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Enhancement Eval Expr Filename Fun Gga_lyp Gga_pbe Lda_vwn List Printer Printf String Sys Testutil Unix

@@ -1,0 +1,1 @@
+test/test_conditions.ml: Alcotest Box Conditions Deriv Dft_vars Domain_spec Dual Encoder Enhancement Eval Extra_conditions Form Icp Interval List Option Outcome Printf Registry Testutil Verify

@@ -1,0 +1,1 @@
+test/test_deriv.ml: Deriv Dft_vars Dual Enhancement Eval Expr Float List Option Printf QCheck2 Registry Testutil

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Compile Eval Expr Float List Parser Printer Printf QCheck2 Rat Stdlib Testutil

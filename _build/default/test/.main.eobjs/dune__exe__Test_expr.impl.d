@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Eval Expr Float List Option QCheck2 Rat Simplify Stdlib Subst Testutil

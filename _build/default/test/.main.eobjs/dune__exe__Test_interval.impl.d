@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Eval Float Interval Lambert List QCheck2 Stdlib Testutil Transcend

@@ -1,0 +1,1 @@
+test/test_ks.ml: Alcotest Array Float List Numerov Poisson Printf Radial_grid Registry Scf Stdlib Testutil Xc_potential

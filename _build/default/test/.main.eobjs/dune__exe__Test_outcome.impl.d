@@ -1,0 +1,1 @@
+test/test_outcome.ml: Alcotest Array Box Format Interval List Outcome Render String Testutil

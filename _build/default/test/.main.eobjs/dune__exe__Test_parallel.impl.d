@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Atomic Box Expr Form Fun Icp Interval List Pool Testutil

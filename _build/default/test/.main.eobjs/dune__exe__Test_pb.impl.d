@@ -1,0 +1,1 @@
+test/test_pb.ml: Alcotest Array Conditions Dft_vars Float List Mesh Numdiff Pbcheck Printf Registry Stdlib Testutil

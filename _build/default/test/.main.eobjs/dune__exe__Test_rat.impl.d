@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest Float QCheck2 Rat Stdlib Testutil

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Conditions Icp List Option Outcome Pbcheck Printf Registry Render Report String Testutil Verify Xcverifier

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Box Filename Fun Icp List Option Outcome Parser Render Report Serialize Sys Testutil Verify Xcverifier

@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Eval Expr Float List QCheck2 Rat Simplify Stdlib Subst Testutil

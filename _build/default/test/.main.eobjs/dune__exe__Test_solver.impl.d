@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Box Expr Form Hc4 Icp Ieval Interval List QCheck2 Stdlib Testutil

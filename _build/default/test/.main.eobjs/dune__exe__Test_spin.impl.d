@@ -1,0 +1,1 @@
+test/test_spin.ml: Deriv Dft_vars Dual Eval Expr Float Gga_pbe Lda_pw92 List Printf QCheck2 Spin Testutil Uniform

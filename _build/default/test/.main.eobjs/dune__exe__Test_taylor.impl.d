@@ -1,0 +1,1 @@
+test/test_taylor.ml: Alcotest Box Eval Expr Float Form Hc4 Icp Ieval Interval List Outcome Printf QCheck2 Taylor Testutil Verify Xcverifier

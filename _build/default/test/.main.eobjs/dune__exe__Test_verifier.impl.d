@@ -1,0 +1,1 @@
+test/test_verifier.ml: Alcotest Array Box Conditions Dft_vars Form Icp Interval List Option Outcome Registry Render String Testutil Verify Xcverifier

@@ -1,0 +1,1 @@
+test/test_witness.ml: Alcotest Box Conditions Encoder Float Format Icp Interval List Option Registry Testutil Verify Witness

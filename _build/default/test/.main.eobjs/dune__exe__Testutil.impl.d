@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Dft_vars Expr Float QCheck2 QCheck_alcotest String

@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "xcverifier"
+    [
+      ("rat", Test_rat.suite);
+      ("expr", Test_expr.suite);
+      ("eval-compile-parse", Test_eval.suite);
+      ("deriv", Test_deriv.suite);
+      ("simplify-subst", Test_simplify.suite);
+      ("interval", Test_interval.suite);
+      ("solver", Test_solver.suite);
+      ("taylor", Test_taylor.suite);
+      ("functionals", Test_functionals.suite);
+      ("spin", Test_spin.suite);
+      ("conditions", Test_conditions.suite);
+      ("verifier", Test_verifier.suite);
+      ("outcome", Test_outcome.suite);
+      ("witness", Test_witness.suite);
+      ("pb-baseline", Test_pb.suite);
+      ("report", Test_report.suite);
+      ("parallel", Test_parallel.suite);
+      ("kohn-sham", Test_ks.suite);
+      ("serialize", Test_serialize.suite);
+      ("codegen", Test_codegen.suite);
+    ]

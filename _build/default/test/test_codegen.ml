@@ -1,0 +1,100 @@
+open Testutil
+open Expr
+
+let x = var "x"
+let y = var "y"
+
+let test_c_structure () =
+  let e = add (mul x (exp y)) (sqrt (add (sqr x) one)) in
+  let c = Printer.c_to_string ~name:"f" ~vars:[ "x"; "y" ] e in
+  check_true "function header" (contains_sub c "double f(double x, double y)");
+  check_true "uses exp" (contains_sub c "exp(");
+  check_true "uses sqrt" (contains_sub c "sqrt(");
+  check_true "returns" (contains_sub c "return ");
+  (* shared subterms become temporaries *)
+  let shared = exp (mul x y) in
+  let e2 = add (mul shared shared) shared in
+  let c2 = Printer.c_to_string ~name:"g" ~vars:[ "x"; "y" ] e2 in
+  check_true "temporary emitted" (contains_sub c2 "const double t1");
+  (* piecewise becomes a ternary *)
+  let pw = if_lt x y ~then_:(int 1) ~else_:(int 2) in
+  let c3 = Printer.c_to_string ~name:"h" ~vars:[ "x"; "y" ] pw in
+  check_true "ternary" (contains_sub c3 "?")
+
+(* End-to-end: generate C for real functionals, compile with the system cc,
+   and compare against the OCaml evaluator at sample points. *)
+let test_c_compile_and_compare () =
+  let cases =
+    [
+      ("pbe_fc", Enhancement.f_of Gga_pbe.eps_c, [ "rs"; "s" ]);
+      ("lyp_fc", Enhancement.f_of Gga_lyp.eps_c, [ "rs"; "s" ]);
+      ("vwn_fc", Enhancement.f_of Lda_vwn.eps_c, [ "rs" ]);
+    ]
+  in
+  let dir = Filename.temp_file "xcvgen" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let src = Filename.concat dir "gen.c" in
+      let exe = Filename.concat dir "gen" in
+      let oc = open_out src in
+      output_string oc "#include <math.h>\n#include <stdio.h>\n";
+      List.iter
+        (fun (name, e, vars) ->
+          output_string oc (Printer.c_to_string ~name ~vars e))
+        cases;
+      output_string oc
+        "int main(void) {\n\
+        \  double pts[4][2] = {{0.5, 0.3}, {1.0, 2.0}, {3.0, 4.5}, {4.9, 0.01}};\n\
+        \  for (int i = 0; i < 4; i++)\n\
+        \    printf(\"%.17g %.17g %.17g\\n\",\n\
+        \           pbe_fc(pts[i][0], pts[i][1]),\n\
+        \           lyp_fc(pts[i][0], pts[i][1]),\n\
+        \           vwn_fc(pts[i][0]));\n\
+        \  return 0;\n}\n";
+      close_out oc;
+      let cmd = Printf.sprintf "cc -O2 -o %s %s -lm 2>/dev/null" exe src in
+      Alcotest.(check int) "cc succeeds" 0 (Sys.command cmd);
+      let ic = Unix.open_process_in exe in
+      let lines = List.init 4 (fun _ -> input_line ic) in
+      ignore (Unix.close_process_in ic);
+      let pts = [ (0.5, 0.3); (1.0, 2.0); (3.0, 4.5); (4.9, 0.01) ] in
+      List.iter2
+        (fun line (rs, s) ->
+          match String.split_on_char ' ' (String.trim line) with
+          | [ a; b; c ] ->
+              let env = [ ("rs", rs); ("s", s) ] in
+              check_close ~tol:1e-12
+                (Printf.sprintf "PBE F_c at (%g, %g)" rs s)
+                (Eval.eval env (Enhancement.f_of Gga_pbe.eps_c))
+                (float_of_string a);
+              check_close ~tol:1e-12
+                (Printf.sprintf "LYP F_c at (%g, %g)" rs s)
+                (Eval.eval env (Enhancement.f_of Gga_lyp.eps_c))
+                (float_of_string b);
+              check_close ~tol:1e-12
+                (Printf.sprintf "VWN F_c at rs=%g" rs)
+                (Eval.eval env (Enhancement.f_of Lda_vwn.eps_c))
+                (float_of_string c)
+          | _ -> Alcotest.failf "bad output line %S" line)
+        lines pts)
+
+let test_c_random_roundtrip =
+  (* random expressions: generated C (compiled once per property run would
+     be too slow, so this checks the generator doesn't crash and emits
+     balanced code) *)
+  qcheck ~count:60 "C generator emits balanced code" expr_gen (fun e ->
+      let c = Printer.c_to_string ~name:"q" ~vars:[ "x"; "y" ] e in
+      let count ch = String.fold_left (fun n c -> if c = ch then n + 1 else n) 0 c in
+      count '(' = count ')' && count '{' = count '}')
+
+let suite =
+  [
+    case "C structure" test_c_structure;
+    slow_case "generated C compiles and matches Eval" test_c_compile_and_compare;
+    test_c_random_roundtrip;
+  ]

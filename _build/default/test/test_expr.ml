@@ -1,0 +1,121 @@
+open Testutil
+open Expr
+
+let x = var "x"
+let y = var "y"
+
+let test_hash_consing () =
+  check_true "identical construction is physically equal"
+    (equal (add x (mul y (int 2))) (add x (mul y (int 2))));
+  check_true "commutative inputs collect to the same sum"
+    (equal (add x y) (add y x));
+  check_true "product commutes" (equal (mul x y) (mul y x));
+  check_true "ids are stable" (id (add x y) = id (add y x))
+
+let test_constant_folding () =
+  check_true "2+3=5" (equal (add (int 2) (int 3)) (int 5));
+  check_true "2*3=6" (equal (mul (int 2) (int 3)) (int 6));
+  check_true "2^10 exact" (equal (powi (int 2) 10) (int 1024));
+  check_true "rational fold" (equal (add (rat 1 2) (rat 1 3)) (rat 5 6));
+  check_close "float fold" (Stdlib.exp 1.5)
+    (Option.get (as_const (exp (const 1.5))))
+
+let test_identities () =
+  check_true "x+0 = x" (equal (add x zero) x);
+  check_true "x*1 = x" (equal (mul x one) x);
+  check_true "x*0 = 0" (equal (mul x zero) zero);
+  check_true "x^0 = 1" (equal (powi x 0) one);
+  check_true "x^1 = x" (equal (powi x 1) x);
+  check_true "1^y = 1" (equal (pow one y) one);
+  check_true "x-x = 0" (equal (sub x x) zero);
+  check_true "x/x = 1" (equal (div x x) one)
+
+let test_like_terms () =
+  check_true "x+x = 2x" (equal (add x x) (mul two x));
+  check_true "2x+3x = 5x" (equal (add (mul (int 2) x) (mul (int 3) x)) (mul (int 5) x));
+  check_true "x*x = x^2" (equal (mul x x) (sqr x));
+  check_true "x^2*x^3 = x^5" (equal (mul (powi x 2) (powi x 3)) (powi x 5));
+  check_true "x * x^-1 = 1" (equal (mul x (inv x)) one);
+  check_true "sqrt x * sqrt x = x" (equal (mul (sqrt x) (sqrt x)) x)
+
+let test_flattening () =
+  (* (x + (y + 1)) + 2 should flatten to one sum with folded constant *)
+  let e = add (add x (add y one)) two in
+  (match e.node with
+  | Add terms -> Alcotest.(check int) "flattened arity" 3 (List.length terms)
+  | _ -> Alcotest.fail "expected Add");
+  let p = mul (mul x (mul y two)) (int 3) in
+  match p.node with
+  | Mul factors -> Alcotest.(check int) "product arity" 3 (List.length factors)
+  | _ -> Alcotest.fail "expected Mul"
+
+let test_power_rules () =
+  check_true "(x^2)^3 = x^6" (equal (powi (powi x 2) 3) (powi x 6));
+  check_false "(x^2)^(1/2) does not collapse"
+    (equal (powr (powi x 2) Rat.half) x);
+  check_true "(x*y)^2 distributes" (equal (powi (mul x y) 2) (mul (powi x 2) (powi y 2)));
+  (* positive constant pulled out of fractional powers *)
+  check_true "(4x)^(1/2) = 2 x^(1/2)"
+    (equal (sqrt (mul (int 4) x)) (mul two (sqrt x)));
+  check_true "neg via mul" (equal (neg x) (mul (int (-1)) x))
+
+let test_piecewise () =
+  let pw = if_lt x y ~then_:(int 1) ~else_:(int 2) in
+  (match pw.node with Piecewise _ -> () | _ -> Alcotest.fail "kept symbolic");
+  (* constant guards resolve statically *)
+  check_true "true guard picks branch"
+    (equal (if_lt zero one ~then_:x ~else_:y) x);
+  check_true "false guard picks default"
+    (equal (if_lt one zero ~then_:x ~else_:y) y);
+  check_true "identical branches collapse"
+    (equal (if_lt x y ~then_:(int 3) ~else_:(int 3)) (int 3))
+
+let test_inspection () =
+  let e = add (mul x y) (exp (sub x one)) in
+  Alcotest.(check (list string)) "vars" [ "x"; "y" ] (vars e);
+  check_true "mem_var x" (mem_var "x" e);
+  check_false "mem_var z" (mem_var "z" e);
+  check_true "size counts dag nodes once" (size (add (sqr x) (sqr x)) <= 4);
+  check_true "tree_size >= size" (tree_size e >= size e);
+  check_true "depth positive" (depth e >= 3)
+
+let test_unop_folding () =
+  check_true "log of negative stays symbolic"
+    (match (log (const (-2.0))).node with Apply (Log, _) -> true | _ -> false);
+  check_close "abs const" 3.5 (Option.get (as_const (abs (const (-3.5)))));
+  check_true "abs of even power strips"
+    (equal (Simplify.simplify (abs (sqr x))) (sqr x))
+
+let suite =
+  [
+    case "hash consing" test_hash_consing;
+    case "constant folding" test_constant_folding;
+    case "ring identities" test_identities;
+    case "like-term collection" test_like_terms;
+    case "n-ary flattening" test_flattening;
+    case "power rules" test_power_rules;
+    case "piecewise" test_piecewise;
+    case "inspection" test_inspection;
+    case "unop folding" test_unop_folding;
+    qcheck "add is evaluated correctly on random exprs"
+      QCheck2.Gen.(triple expr_gen expr_gen env2_gen)
+      (fun (a, b, env) ->
+        let lhs = Eval.eval env (add a b) in
+        let rhs = Eval.eval env a +. Eval.eval env b in
+        (Float.is_nan lhs && Float.is_nan rhs)
+        || lhs = rhs
+        || Float.abs (lhs -. rhs) <= 1e-6 *. (1.0 +. Float.abs rhs));
+    qcheck "smart-constructor normalization preserves value"
+      QCheck2.Gen.(pair expr_gen env2_gen)
+      (fun (e, env) ->
+        (* Rebuilding through the constructors must not change semantics. *)
+        let rebuilt = Subst.subst [] e in
+        let v1 = Eval.eval env e and v2 = Eval.eval env rebuilt in
+        (Float.is_nan v1 && Float.is_nan v2)
+        || v1 = v2
+        || Float.abs (v1 -. v2) <= 1e-6 *. (1.0 +. Float.abs v1));
+    qcheck "neg is an involution" expr_gen (fun e -> equal (neg (neg e)) e);
+    qcheck "hash-consing: equal means same id"
+      QCheck2.Gen.(pair expr_gen expr_gen)
+      (fun (a, b) -> equal a b = (id a = id b));
+  ]

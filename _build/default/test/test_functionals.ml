@@ -1,0 +1,328 @@
+open Testutil
+
+let rs_n = Dft_vars.rs_name
+let s_n = Dft_vars.s_name
+let a_n = Dft_vars.alpha_name
+
+(* ---- uniform gas ------------------------------------------------------ *)
+
+let test_uniform () =
+  check_close ~tol:1e-6 "prefactor" 0.4581652932831429 Uniform.prefactor;
+  check_close "eps_x at rs=1" (-0.4581652932831429) (Uniform.eps_x_at 1.0);
+  (* symbolic and numeric forms agree *)
+  List.iter
+    (fun rs ->
+      check_close
+        (Printf.sprintf "symbolic eps_x at rs=%g" rs)
+        (Uniform.eps_x_at rs)
+        (Eval.eval1 rs_n rs Uniform.eps_x))
+    [ 0.0001; 0.1; 1.0; 5.0; 100.0 ];
+  (* scaling: eps_x ~ 1/rs *)
+  check_close "scaling" (2.0 *. Uniform.eps_x_at 2.0) (Uniform.eps_x_at 1.0)
+
+let test_density_conversion () =
+  (* n(rs) must invert rs(n) = (3/(4 pi n))^(1/3). *)
+  List.iter
+    (fun rs ->
+      let n = Eval.eval1 rs_n rs Dft_vars.density in
+      let rs_back = Float.cbrt (3.0 /. (4.0 *. Float.pi *. n)) in
+      check_close (Printf.sprintf "rs round-trip %g" rs) rs rs_back)
+    [ 0.001; 0.5; 1.0; 4.7 ]
+
+let test_t2_vs_s () =
+  (* t^2 = (pi/4)(9 pi/4)^(1/3) s^2 / rs  ~= 1.50730 s^2/rs *)
+  let v =
+    Eval.eval [ (rs_n, 2.0); (s_n, 3.0) ] Dft_vars.t2
+  in
+  check_close ~tol:1e-5 "t2 value" (1.5073009372 *. 9.0 /. 2.0) v
+
+(* ---- LDA correlation --------------------------------------------------- *)
+
+let test_pw92_reference () =
+  (* Reference values of eps_c^PW92(rs, zeta=0) in Hartree. *)
+  List.iter
+    (fun (rs, expect) ->
+      check_close ~tol:2e-4 (Printf.sprintf "PW92 rs=%g" rs) expect
+        (Lda_pw92.eps_c_at rs))
+    [ (1.0, -0.05977); (2.0, -0.04476); (5.0, -0.02822); (10.0, -0.01857) ]
+
+let test_pw92_properties () =
+  (* Negative and monotonically increasing toward 0 on the whole domain. *)
+  let prev = ref (Lda_pw92.eps_c_at 0.0001) in
+  for i = 1 to 200 do
+    let rs = 0.0001 +. (float_of_int i *. 0.025) in
+    let v = Lda_pw92.eps_c_at rs in
+    check_true "negative" (v < 0.0);
+    check_true "monotone increasing in rs" (v >= !prev);
+    prev := v
+  done
+
+let test_vwn () =
+  (* RPA overestimates correlation: |eps_RPA| > |eps_CA-fit| everywhere. *)
+  List.iter
+    (fun rs ->
+      let rpa = Lda_vwn.eps_c_at rs in
+      let vwn5 = Eval.eval1 rs_n rs Lda_vwn.eps_c_vwn5 in
+      check_true "both negative" (rpa < 0.0 && vwn5 < 0.0);
+      check_true "RPA deeper" (rpa < vwn5))
+    [ 0.01; 0.1; 1.0; 5.0; 50.0 ];
+  (* VWN5 should be close to PW92 (both fit Ceperley-Alder). *)
+  List.iter
+    (fun rs ->
+      let d = Float.abs (Eval.eval1 rs_n rs Lda_vwn.eps_c_vwn5 -. Lda_pw92.eps_c_at rs) in
+      check_true (Printf.sprintf "VWN5 ~ PW92 at rs=%g (d=%g)" rs d) (d < 1e-3))
+    [ 0.5; 1.0; 2.0; 5.0 ]
+
+let test_pz81 () =
+  (* continuous at the matching point but with a derivative jump *)
+  let below = Lda_pz81.eps_c_at 0.9999999 in
+  let above = Lda_pz81.eps_c_at 1.0000001 in
+  check_true "nearly continuous" (Float.abs (below -. above) < 1e-4);
+  let jump = Lda_pz81.derivative_jump_at_matching_point () in
+  check_true "derivative jump exists" (jump > 1e-6);
+  check_true "derivative jump small" (jump < 1e-3);
+  check_close ~tol:5e-3 "PZ81 ~ CA at rs=2" (-0.0448) (Lda_pz81.eps_c_at 2.0)
+
+(* ---- GGA --------------------------------------------------------------- *)
+
+let test_pbe_exchange () =
+  check_close "F_x(0) = 1" 1.0 (Eval.eval1 s_n 0.0 Gga_pbe.f_x);
+  (* F_x is bounded by 1 + kappa (the Lieb-Oxford-motivated ceiling). *)
+  for i = 0 to 100 do
+    let s = float_of_int i *. 0.05 in
+    let fx = Eval.eval1 s_n s Gga_pbe.f_x in
+    check_true "1 <= F_x" (fx >= 1.0);
+    check_true "F_x < 1 + kappa" (fx < 1.0 +. Gga_pbe.kappa)
+  done;
+  (* small-s expansion: F_x ~ 1 + mu s^2 *)
+  let s = 1e-4 in
+  check_close ~tol:1e-4 "gradient expansion"
+    (1.0 +. (Gga_pbe.mu *. s *. s))
+    (Eval.eval1 s_n s Gga_pbe.f_x)
+
+let test_pbe_correlation () =
+  (* s = 0 recovers PW92 *)
+  List.iter
+    (fun rs ->
+      check_close
+        (Printf.sprintf "LSDA limit rs=%g" rs)
+        (Lda_pw92.eps_c_at rs)
+        (Gga_pbe.eps_c_at ~rs ~s:0.0))
+    [ 0.1; 1.0; 4.0 ];
+  (* H >= 0: gradient correction reduces |correlation| *)
+  List.iter
+    (fun (rs, s) ->
+      let h = Eval.eval [ (rs_n, rs); (s_n, s) ] Gga_pbe.h_term in
+      check_true (Printf.sprintf "H >= 0 at (%g, %g)" rs s) (h >= 0.0);
+      check_true "eps_c stays negative" (Gga_pbe.eps_c_at ~rs ~s <= 1e-12))
+    [ (0.5, 0.5); (1.0, 2.0); (3.0, 5.0); (5.0, 1.0) ];
+  (* high-gradient limit: correlation vanishes *)
+  check_true "eps_c -> 0 at huge s"
+    (Float.abs (Gga_pbe.eps_c_at ~rs:1.0 ~s:50.0) < 1e-3)
+
+let test_lyp () =
+  (* LSDA-like limit negative at s = 0. *)
+  check_true "negative at s=0" (Gga_lyp.eps_c_at ~rs:1.0 ~s:0.0 < 0.0);
+  (* the EC1 violation: positive correlation energy at large s *)
+  check_true "positive at s=3" (Gga_lyp.eps_c_at ~rs:1.0 ~s:3.0 > 0.0);
+  (* crossing boundary near the paper's 1.66 band over mid rs *)
+  let c1 = Gga_lyp.s_crossing ~rs:1.0 in
+  check_true (Printf.sprintf "crossing at rs=1 is %.3f" c1)
+    (c1 > 1.5 && c1 < 2.1);
+  let c2 = Gga_lyp.s_crossing ~rs:2.0 in
+  check_true "crossing at rs=2 in band" (c2 > 1.5 && c2 < 2.1)
+
+let test_am05 () =
+  (* exchange index interpolates: X(0) = 1 (pure LDA), X(inf) = 0 *)
+  check_close "X(0)" 1.0 (Eval.eval1 s_n 0.0 Gga_am05.index_x);
+  check_true "X decreasing"
+    (Eval.eval1 s_n 2.0 Gga_am05.index_x < Eval.eval1 s_n 1.0 Gga_am05.index_x);
+  (* correlation: eps_c = PW92 * [X + gamma(1 - X)] with gamma < 1 means
+     |eps_c| shrinks with s *)
+  let e0 = Gga_am05.eps_c_at ~rs:1.0 ~s:0.0 in
+  let e5 = Gga_am05.eps_c_at ~rs:1.0 ~s:5.0 in
+  check_close "s=0 is PW92" (Lda_pw92.eps_c_at 1.0) e0;
+  check_true "attenuated at s=5" (Float.abs e5 < Float.abs e0);
+  check_true "never positive" (e5 < 0.0);
+  (* the limit factor is gamma_c *)
+  check_close ~tol:1e-3 "s -> inf factor"
+    (Gga_am05.gamma_c *. Lda_pw92.eps_c_at 1.0)
+    (Gga_am05.eps_c_at ~rs:1.0 ~s:500.0);
+  (* exchange F_x(0+) = 1 via the Lambert W limit *)
+  check_close ~tol:1e-3 "F_x(0+) = 1" 1.0 (Eval.eval1 s_n 1e-8 Gga_am05.f_x)
+
+(* ---- meta-GGA ---------------------------------------------------------- *)
+
+let scan_env ~rs ~s ~alpha = [ (rs_n, rs); (s_n, s); (a_n, alpha) ]
+
+let test_scan_switching () =
+  let f = Mgga_scan.f_alpha_x in
+  check_close "f(0) = 1" 1.0 (Eval.eval (scan_env ~rs:1.0 ~s:1.0 ~alpha:0.0) f);
+  check_close "f(1) = 0" 0.0 (Eval.eval (scan_env ~rs:1.0 ~s:1.0 ~alpha:1.0) f);
+  (* continuous through alpha = 1 *)
+  let just_below = Eval.eval (scan_env ~rs:1.0 ~s:1.0 ~alpha:0.999999) f in
+  let just_above = Eval.eval (scan_env ~rs:1.0 ~s:1.0 ~alpha:1.000001) f in
+  check_true "left limit -> 0" (Float.abs just_below < 1e-6);
+  check_true "right limit -> 0" (Float.abs just_above < 1e-6);
+  check_close ~tol:1e-5 "f(inf tail) -> -d as alpha grows"
+    (-.Mgga_scan.dx)
+    (Eval.eval (scan_env ~rs:1.0 ~s:1.0 ~alpha:1e6) f)
+
+let test_scan_limits () =
+  (* uniform gas norm: at s=0, alpha=1 SCAN recovers LSDA exactly *)
+  List.iter
+    (fun rs ->
+      check_close ~tol:1e-10
+        (Printf.sprintf "LSDA norm rs=%g" rs)
+        (Lda_pw92.eps_c_at rs)
+        (Mgga_scan.eps_c_at ~rs ~s:0.0 ~alpha:1.0);
+      check_close ~tol:1e-9
+        (Printf.sprintf "exchange norm rs=%g" rs)
+        (Uniform.eps_x_at rs)
+        (Mgga_scan.eps_x_at ~rs ~s:1e-14 ~alpha:1.0))
+    [ 0.5; 1.0; 3.0 ];
+  (* correlation remains non-positive across a sample of the 3D domain (SCAN
+     is built to satisfy EC1) *)
+  List.iter
+    (fun (rs, s, alpha) ->
+      check_true
+        (Printf.sprintf "eps_c <= 0 at (%g,%g,%g)" rs s alpha)
+        (Mgga_scan.eps_c_at ~rs ~s ~alpha <= 1e-12))
+    [
+      (0.01, 0.3, 0.2); (0.5, 2.0, 0.0); (1.0, 5.0, 1.5); (3.0, 1.0, 4.0);
+      (5.0, 4.0, 0.9); (2.0, 0.1, 1.1);
+    ]
+
+let test_scan_exchange_bounds () =
+  (* F_x must respect the tightened meta-GGA Lieb-Oxford bound ~ 1.174 at
+     alpha=0 and stay positive. *)
+  List.iter
+    (fun (s, alpha) ->
+      let fx = Eval.eval (scan_env ~rs:1.0 ~s ~alpha) Mgga_scan.f_x in
+      check_true (Printf.sprintf "0 < F_x at (%g,%g)" s alpha) (fx > 0.0);
+      check_true (Printf.sprintf "F_x <= 1.174+eps at (%g,%g)" s alpha)
+        (fx <= 1.174 +. 1e-6))
+    [ (0.1, 0.0); (1.0, 0.5); (2.0, 1.0); (4.0, 3.0); (5.0, 5.0) ]
+
+let test_rscan () =
+  (* regularized alpha stays close to alpha away from 0 *)
+  let a' x = Eval.eval1 a_n x Mgga_rscan.alpha_regularized in
+  check_close ~tol:1e-3 "alpha' ~ alpha at 1" 1.0 (a' 1.0);
+  check_true "alpha'(0) = 0" (a' 0.0 = 0.0);
+  (* rSCAN tracks SCAN correlation within a few percent at benign points *)
+  List.iter
+    (fun (rs, s, alpha) ->
+      let s1 = Mgga_scan.eps_c_at ~rs ~s ~alpha in
+      let s2 = Mgga_rscan.eps_c_at ~rs ~s ~alpha in
+      check_true
+        (Printf.sprintf "rSCAN ~ SCAN at (%g,%g,%g): %g vs %g" rs s alpha s1 s2)
+        (Float.abs (s1 -. s2) < 0.02 *. (1.0 +. Float.abs s1)))
+    [ (1.0, 0.5, 0.5); (1.0, 0.5, 2.0); (3.0, 2.0, 0.3) ];
+  (* but rSCAN's switching function is smooth at alpha = 1: compare
+     derivative magnitudes *)
+  let d_scan =
+    (Dual.eval (scan_env ~rs:1.0 ~s:1.0 ~alpha:0.999) ~wrt:a_n Mgga_scan.f_alpha_c).Dual.d
+  in
+  let d_rscan =
+    (Dual.eval (scan_env ~rs:1.0 ~s:1.0 ~alpha:0.999) ~wrt:a_n Mgga_rscan.f_alpha_c).Dual.d
+  in
+  check_true "rSCAN switch is flatter near alpha=1"
+    (Float.abs d_rscan < Float.abs d_scan +. 1.0)
+
+(* ---- registry ----------------------------------------------------------- *)
+
+let test_registry () =
+  Alcotest.(check int) "five paper DFAs" 5 (List.length Registry.paper_five);
+  Alcotest.(check int) "twelve registered" 12 (List.length Registry.all);
+  let pbe = Registry.find "pbe" in
+  Alcotest.(check (list string)) "PBE variables" [ rs_n; s_n ]
+    (Registry.variables pbe);
+  check_true "PBE has xc" (Registry.eps_xc pbe <> None);
+  let lyp = Registry.find "LYP" in
+  check_true "case-insensitive lookup" (String.equal lyp.Registry.name "lyp");
+  check_true "LYP has no exchange" (Registry.eps_xc lyp = None);
+  Alcotest.(check (option reject)) "unknown" None (Registry.find_opt "b3lyp");
+  Alcotest.check_raises "find raises" Not_found (fun () ->
+      ignore (Registry.find "nope"));
+  let scan = Registry.find "scan" in
+  Alcotest.(check (list string)) "SCAN variables" [ rs_n; s_n; a_n ]
+    (Registry.variables scan)
+
+let test_b88 () =
+  check_close ~tol:1e-6 "F_x(0) = 1" 1.0 (Eval.eval1 s_n 0.0 Gga_b88.f_x);
+  (* monotone growth in s; unbounded (the known B88 large-gradient issue) *)
+  let f1 = Eval.eval1 s_n 1.0 Gga_b88.f_x in
+  let f5 = Eval.eval1 s_n 5.0 Gga_b88.f_x in
+  check_true "increasing" (1.0 < f1 && f1 < f5);
+  check_true "in sane range at s=1" (f1 > 1.05 && f1 < 1.4);
+  (* BLYP is registered with both parts: LO conditions become applicable *)
+  let blyp = Registry.find "blyp" in
+  check_true "BLYP has xc" (Registry.eps_xc blyp <> None);
+  check_true "EC5 applies to BLYP" (Conditions.applies Conditions.Ec5 blyp)
+
+let test_mutate () =
+  let e = Expr.add (Expr.mul (Expr.const 0.804) Dft_vars.s) (Expr.const 2.5) in
+  let e', n = Mutate.tweak_constant ~from_const:0.804 ~to_const:1.3 e in
+  Alcotest.(check int) "one site" 1 n;
+  check_close "mutated value" ((1.3 *. 2.0) +. 2.5) (Eval.eval1 s_n 2.0 e');
+  check_close "original untouched" ((0.804 *. 2.0) +. 2.5) (Eval.eval1 s_n 2.0 e);
+  let e'', n2 = Mutate.flip_constant_sign 2.5 e in
+  Alcotest.(check int) "sign site" 1 n2;
+  check_close "sign flipped" ((0.804 *. 2.0) -. 2.5) (Eval.eval1 s_n 2.0 e'');
+  (* scale_term hits only terms mentioning the variable *)
+  let scaled = Mutate.scale_term ~factor:3.0 ~containing:s_n e in
+  check_close "term scaled" ((3.0 *. 0.804 *. 2.0) +. 2.5) (Eval.eval1 s_n 2.0 scaled);
+  (* mutant_of renames and rewires *)
+  let pbe = Registry.find "pbe" in
+  let m = Mutate.mutant_of pbe ~name:"pbe-test" ~mutate:(fun x -> Expr.mul Expr.two x) in
+  check_true "renamed" (String.equal m.Registry.name "pbe-test");
+  check_close "correlation doubled"
+    (2.0 *. Gga_pbe.eps_c_at ~rs:1.0 ~s:1.0)
+    (Eval.eval [ (rs_n, 1.0); (s_n, 1.0) ] (Option.get m.Registry.eps_c))
+
+let test_enhancement () =
+  (* F_c of any correlation functional is -rs eps_c / 0.458..., so F_c >= 0
+     iff eps_c <= 0 *)
+  let f_c = Enhancement.f_of Lda_pw92.eps_c in
+  List.iter
+    (fun rs ->
+      let fc = Eval.eval1 rs_n rs f_c in
+      let expected = -.(Lda_pw92.eps_c_at rs) /. Uniform.eps_x_at rs *. -1.0 in
+      check_close (Printf.sprintf "F_c at rs=%g" rs) expected fc;
+      check_true "F_c >= 0 for PW92" (fc >= 0.0))
+    [ 0.01; 1.0; 5.0 ]
+
+let suite =
+  [
+    case "uniform electron gas" test_uniform;
+    case "density conversion" test_density_conversion;
+    case "t^2 relation" test_t2_vs_s;
+    case "PW92 reference values" test_pw92_reference;
+    case "PW92 monotonicity" test_pw92_properties;
+    case "VWN RPA vs VWN5" test_vwn;
+    case "PZ81 matching point" test_pz81;
+    case "PBE exchange" test_pbe_exchange;
+    case "PBE correlation" test_pbe_correlation;
+    case "LYP violation structure" test_lyp;
+    case "AM05" test_am05;
+    case "SCAN switching function" test_scan_switching;
+    case "SCAN norms and bounds" test_scan_limits;
+    case "SCAN exchange bounds" test_scan_exchange_bounds;
+    case "rSCAN regularization" test_rscan;
+    case "registry" test_registry;
+    case "B88 exchange / BLYP pairing" test_b88;
+    case "mutation harness" test_mutate;
+    case "enhancement factors" test_enhancement;
+    qcheck ~count:100 "PBE correlation non-positive on domain (EC1 holds)"
+      dfa_point_gen
+      (fun env ->
+        let rs = List.assoc rs_n env and s = List.assoc s_n env in
+        Gga_pbe.eps_c_at ~rs ~s <= 1e-12);
+    qcheck ~count:100 "VWN RPA non-positive on domain" pos_float_gen
+      (fun rs -> Lda_vwn.eps_c_at rs < 0.0);
+    qcheck ~count:100 "AM05 f_x finite and >= 1 on (0, 5]"
+      QCheck2.Gen.(float_range 1e-6 5.0)
+      (fun s ->
+        let fx = Eval.eval1 s_n s Gga_am05.f_x in
+        Float.is_finite fx && fx >= 0.999);
+  ]

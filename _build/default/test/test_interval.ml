@@ -1,0 +1,149 @@
+open Testutil
+
+let iv = Interval.make
+
+let test_construction () =
+  check_true "point is degenerate" (Interval.is_point (Interval.point 3.0));
+  check_true "empty is empty" (Interval.is_empty Interval.empty);
+  check_false "top not empty" (Interval.is_empty Interval.top);
+  check_false "top not bounded" (Interval.is_bounded Interval.top);
+  Alcotest.check_raises "lo > hi rejected"
+    (Invalid_argument "Interval.make: malformed bounds") (fun () ->
+      ignore (iv 2.0 1.0))
+
+let test_lattice () =
+  let a = iv 0.0 2.0 and b = iv 1.0 3.0 in
+  check_true "meet" (Interval.equal (Interval.meet a b) (iv 1.0 2.0));
+  check_true "join" (Interval.equal (Interval.join a b) (iv 0.0 3.0));
+  check_true "disjoint meet empty"
+    (Interval.is_empty (Interval.meet (iv 0.0 1.0) (iv 2.0 3.0)));
+  check_true "subset" (Interval.subset (iv 1.0 2.0) a);
+  check_false "not subset" (Interval.subset b a);
+  check_true "empty subset of all" (Interval.subset Interval.empty a)
+
+let test_measures () =
+  check_close "width" 2.0 (Interval.width (iv 1.0 3.0));
+  check_close "midpoint" 2.0 (Interval.midpoint (iv 1.0 3.0));
+  check_close "mag" 3.0 (Interval.mag (iv (-3.0) 2.0));
+  check_close "mig straddling" 0.0 (Interval.mig (iv (-3.0) 2.0));
+  check_close "mig positive" 1.0 (Interval.mig (iv 1.0 2.0));
+  check_true "midpoint of unbounded is finite"
+    (Float.is_finite (Interval.midpoint Interval.top))
+
+let test_arith_basics () =
+  check_true "add" (Interval.subset (iv 3.0 5.0) (Interval.add (iv 1.0 2.0) (iv 2.0 3.0)));
+  check_true "sub" (Interval.subset (iv (-2.0) 0.0) (Interval.sub (iv 1.0 2.0) (iv 2.0 3.0)));
+  check_true "mul signs"
+    (Interval.subset (iv (-6.0) 3.0) (Interval.mul (iv (-2.0) 1.0) (iv 0.0 3.0)));
+  check_true "div by positive"
+    (Interval.subset (iv 0.5 2.0) (Interval.div (iv 1.0 2.0) (iv 1.0 2.0)));
+  check_true "div across zero is top"
+    (Interval.equal (Interval.div (iv 1.0 2.0) (iv (-1.0) 1.0)) Interval.top);
+  check_true "div zero by zero-divisor empty"
+    (Interval.is_empty (Interval.div (iv 1.0 2.0) Interval.zero))
+
+let test_zero_times_inf () =
+  (* The 0 * inf = 0 convention of interval endpoints. *)
+  let z = Interval.zero and t = Interval.top in
+  check_true "0 * top = 0" (Interval.equal (Interval.mul z t) Interval.zero);
+  check_true "top * top = top" (Interval.equal (Interval.mul t t) t)
+
+let test_powers () =
+  check_true "square straddling"
+    (Interval.subset (iv 0.0 9.0) (Interval.pow_int (iv (-3.0) 2.0) 2));
+  check_true "cube keeps sign"
+    (Interval.subset (iv (-27.0) 8.0) (Interval.pow_int (iv (-3.0) 2.0) 3));
+  check_true "x^0 = 1" (Interval.equal (Interval.pow_int (iv (-3.0) 2.0) 0) Interval.one);
+  check_true "inverse of positive"
+    (Interval.subset (iv 0.5 1.0) (Interval.pow_int (iv 1.0 2.0) (-1)));
+  (* fractional power restricted to nonneg base *)
+  let r = Interval.pow (iv (-4.0) 9.0) 0.5 in
+  check_true "sqrt clips to [0,3]" (Interval.subset (iv 0.0 3.0) r);
+  check_true "sqrt upper close" (Interval.sup r < 3.0001);
+  check_true "fully negative base is empty"
+    (Interval.is_empty (Interval.pow (iv (-4.0) (-1.0)) 0.5));
+  (* 0^negative = inf *)
+  check_true "0 in base, negative exponent"
+    (Interval.sup (Interval.pow (iv 0.0 2.0) (-1.0)) = Float.infinity)
+
+let test_sign_tests () =
+  check_true "certainly_le" (Interval.certainly_le (iv (-2.0) (-1.0)) 0.0);
+  check_false "not certainly_le" (Interval.certainly_le (iv (-1.0) 1.0) 0.0);
+  check_true "possibly_le" (Interval.possibly_le (iv (-1.0) 1.0) 0.0);
+  check_true "empty certainly everything"
+    (Interval.certainly_le Interval.empty 0.0 && Interval.certainly_ge Interval.empty 0.0)
+
+let test_split () =
+  let a, b = Interval.split (iv 0.0 4.0) in
+  check_close "left hi" 2.0 (Interval.sup a);
+  check_close "right lo" 2.0 (Interval.inf b);
+  Alcotest.check_raises "split point" (Invalid_argument "Interval.split")
+    (fun () -> ignore (Interval.split (Interval.point 1.0)))
+
+(* Containment property: f([a,b]) contains f(x) for sampled x. *)
+let containment_qcheck name ixf ff =
+  qcheck name
+    QCheck2.Gen.(
+      tup3 (float_range (-50.0) 50.0) (float_range 0.0 20.0)
+        (float_range 0.0 1.0))
+    (fun (lo, w, frac) ->
+      let hi = lo +. w in
+      let x = lo +. (frac *. w) in
+      let i = ixf (iv lo hi) in
+      let v = ff x in
+      Float.is_nan v || Interval.is_empty i = false && Interval.mem v i
+      || Interval.is_empty i)
+
+let suite =
+  [
+    case "construction" test_construction;
+    case "lattice operations" test_lattice;
+    case "measures" test_measures;
+    case "ring arithmetic" test_arith_basics;
+    case "zero times infinity" test_zero_times_inf;
+    case "powers" test_powers;
+    case "sign tests" test_sign_tests;
+    case "splitting" test_split;
+    containment_qcheck "exp containment" Transcend.exp Stdlib.exp;
+    containment_qcheck "log containment" Transcend.log Stdlib.log;
+    containment_qcheck "atan containment" Transcend.atan Stdlib.atan;
+    containment_qcheck "tanh containment" Transcend.tanh Stdlib.tanh;
+    containment_qcheck "sin containment" Transcend.sin Stdlib.sin;
+    containment_qcheck "cos containment" Transcend.cos Stdlib.cos;
+    containment_qcheck "lambert containment" Transcend.lambert_w Lambert.w0;
+    qcheck "mul containment"
+      QCheck2.Gen.(
+        tup4 (float_range (-10.0) 10.0) (float_range 0.0 5.0)
+          (float_range (-10.0) 10.0) (float_range 0.0 5.0))
+      (fun (a, wa, b, wb) ->
+        let ia = iv a (a +. wa) and ib = iv b (b +. wb) in
+        let prod = Interval.mul ia ib in
+        (* check all four corners and the midpoints *)
+        List.for_all
+          (fun (x, y) -> Interval.mem (x *. y) prod)
+          [
+            (a, b); (a +. wa, b); (a, b +. wb); (a +. wa, b +. wb);
+            (a +. (wa /. 2.0), b +. (wb /. 2.0));
+          ]);
+    qcheck "div containment"
+      QCheck2.Gen.(
+        tup4 (float_range (-10.0) 10.0) (float_range 0.0 5.0)
+          (float_range (-10.0) 10.0) (float_range 0.0 5.0))
+      (fun (a, wa, b, wb) ->
+        let ia = iv a (a +. wa) and ib = iv b (b +. wb) in
+        let q = Interval.div ia ib in
+        let check x y =
+          y = 0.0 || Interval.mem (x /. y) q
+        in
+        List.for_all
+          (fun (x, y) -> check x y)
+          [ (a, b); (a +. wa, b +. wb); (a, b +. wb); (a +. wa, b) ]);
+    qcheck "pow containment over nonneg bases"
+      QCheck2.Gen.(
+        tup3 (float_range 0.0 10.0) (float_range 0.0 5.0)
+          (float_range (-3.0) 3.0))
+      (fun (a, w, p) ->
+        let i = Interval.pow (iv a (a +. w)) p in
+        let v = Eval.pow_float (a +. (w /. 2.0)) p in
+        Float.is_nan v || Interval.mem v i);
+  ]

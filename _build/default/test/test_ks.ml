@@ -1,0 +1,195 @@
+open Testutil
+
+(* ---- grid -------------------------------------------------------------- *)
+
+let test_grid () =
+  let g = Radial_grid.make ~r_min:1e-5 ~r_max:10.0 ~n:1000 in
+  Alcotest.(check int) "points" 1000 g.Radial_grid.n;
+  check_close "first" 1e-5 g.Radial_grid.r.(0);
+  check_close ~tol:1e-9 "last" 10.0 g.Radial_grid.r.(999);
+  (* log spacing: constant ratio *)
+  let ratio = g.Radial_grid.r.(1) /. g.Radial_grid.r.(0) in
+  check_close "uniform in log"
+    (g.Radial_grid.r.(500) /. g.Radial_grid.r.(499))
+    ratio;
+  Alcotest.check_raises "bad bounds" (Invalid_argument "Radial_grid.make")
+    (fun () -> ignore (Radial_grid.make ~r_min:2.0 ~r_max:1.0 ~n:100))
+
+let test_grid_integration () =
+  let g = Radial_grid.make ~r_min:1e-7 ~r_max:60.0 ~n:4000 in
+  (* ∫ exp(-r) dr = 1 *)
+  let f = Radial_grid.tabulate g (fun r -> Stdlib.exp (-.r)) in
+  check_close ~tol:1e-6 "exp integral" 1.0 (Radial_grid.integrate g f);
+  (* ∫ r^2 exp(-r) dr = 2 *)
+  let f2 = Radial_grid.tabulate g (fun r -> r *. r *. Stdlib.exp (-.r)) in
+  check_close ~tol:1e-6 "gamma(3)" 2.0 (Radial_grid.integrate g f2);
+  (* outward + inward = total *)
+  let out = Radial_grid.integrate_outward g f in
+  let inw = Radial_grid.integrate_inward g f in
+  check_close ~tol:1e-9 "splitting"
+    (Radial_grid.integrate g f)
+    (out.(2000) +. inw.(2000))
+
+(* ---- eigenvalues -------------------------------------------------------- *)
+
+let hydrogenic_cases =
+  (* exact Coulomb spectrum E_{n} = -Z^2 / (2 n^2), degenerate in l *)
+  List.map
+    (fun (z, l, nodes, n_principal) ->
+      case
+        (Printf.sprintf "hydrogenic Z=%d l=%d nodes=%d" z l nodes)
+        (fun () ->
+          let g = Radial_grid.for_atom ~z ~n:4000 () in
+          let zf = float_of_int z in
+          let v = Radial_grid.tabulate g (fun r -> -.zf /. r) in
+          let e, u =
+            Numerov.solve
+              ~e_min:(-.(zf *. zf) -. 10.0)
+              g ~l ~potential:v ~nodes
+          in
+          let exact =
+            -.(zf *. zf) /. (2.0 *. float_of_int (n_principal * n_principal))
+          in
+          check_close ~tol:1e-5 "eigenvalue" exact e;
+          (* u is normalized *)
+          let u2 = Array.map (fun x -> x *. x) u in
+          check_close ~tol:1e-8 "normalization" 1.0 (Radial_grid.integrate g u2)))
+    [
+      (1, 0, 0, 1); (1, 0, 1, 2); (1, 1, 0, 2); (1, 2, 0, 3); (2, 0, 0, 1);
+      (10, 0, 0, 1); (10, 1, 1, 3);
+    ]
+
+let test_hydrogen_1s_wavefunction () =
+  (* u_1s(r) = 2 r exp(-r): check a few points *)
+  let g = Radial_grid.for_atom ~z:1 ~n:4000 () in
+  let v = Radial_grid.tabulate g (fun r -> -1.0 /. r) in
+  let _, u = Numerov.solve ~e_min:(-12.0) g ~l:0 ~potential:v ~nodes:0 in
+  Array.iteri
+    (fun i r ->
+      if r > 0.5 && r < 5.0 && i mod 317 = 0 then
+        check_close ~tol:1e-3
+          (Printf.sprintf "u(%.3f)" r)
+          (2.0 *. r *. Stdlib.exp (-.r))
+          (Float.abs u.(i)))
+    g.Radial_grid.r
+
+(* ---- Poisson ------------------------------------------------------------ *)
+
+let test_poisson_exponential () =
+  (* n(r) = exp(-2r)/pi (hydrogen 1s): V_H = 1/r - (1 + 1/r) exp(-2r) *)
+  let g = Radial_grid.for_atom ~z:1 ~n:4000 () in
+  let dens = Radial_grid.tabulate g (fun r -> Stdlib.exp (-2.0 *. r) /. Float.pi) in
+  check_close ~tol:1e-6 "unit charge" 1.0 (Poisson.total_charge g dens);
+  let vh = Poisson.hartree g dens in
+  Array.iteri
+    (fun i r ->
+      if i mod 399 = 0 && r < 20.0 then
+        check_close ~tol:1e-5
+          (Printf.sprintf "V_H(%.4f)" r)
+          ((1.0 /. r) -. ((1.0 +. (1.0 /. r)) *. Stdlib.exp (-2.0 *. r)))
+          vh.(i))
+    g.Radial_grid.r;
+  (* Hartree self-energy of the 1s density = 5/16 Ha *)
+  check_close ~tol:1e-5 "E_H = 5/16" (5.0 /. 16.0)
+    (Poisson.hartree_energy g dens vh)
+
+(* ---- xc potential -------------------------------------------------------- *)
+
+let test_xc_potential_derivative () =
+  (* v_xc must equal d(n eps_xc)/dn; compare against a numeric derivative *)
+  let t = Xc_potential.make (Registry.find "vwn5") in
+  List.iter
+    (fun rs ->
+      let n_of_rs rs = 3.0 /. (4.0 *. Float.pi *. (rs ** 3.0)) in
+      let rs_of_n n = Float.cbrt (3.0 /. (4.0 *. Float.pi *. n)) in
+      let n = n_of_rs rs in
+      let h = n *. 1e-6 in
+      let f n = n *. Xc_potential.eps_xc_at t ~rs:(rs_of_n n) in
+      let numeric = (f (n +. h) -. f (n -. h)) /. (2.0 *. h) in
+      check_close ~tol:1e-5
+        (Printf.sprintf "v_xc at rs=%g" rs)
+        numeric
+        (Xc_potential.v_xc_at t ~rs))
+    [ 0.1; 0.5; 1.0; 2.0; 5.0; 20.0 ];
+  (* famous limit: exchange-only v_x = (4/3) eps_x *)
+  let tx = Xc_potential.make (Registry.find "vwn5") in
+  ignore tx;
+  Alcotest.check_raises "GGA rejected"
+    (Invalid_argument "Xc_potential.make: need an LDA correlation functional")
+    (fun () -> ignore (Xc_potential.make (Registry.find "pbe")))
+
+(* ---- occupations --------------------------------------------------------- *)
+
+let test_occupations () =
+  let total z =
+    List.fold_left (fun acc o -> acc +. o.Scf.occ) 0.0 (Scf.occupations z)
+  in
+  for z = 1 to 18 do
+    check_close "electron count" (float_of_int z) (total z)
+  done;
+  let ne = Scf.occupations 10 in
+  Alcotest.(check int) "Ne has three shells" 3 (List.length ne);
+  let last = List.nth ne 2 in
+  Alcotest.(check int) "2p" 1 last.Scf.l;
+  check_close "2p full" 6.0 last.Scf.occ;
+  Alcotest.check_raises "z too big"
+    (Invalid_argument "Scf.occupations: 1 <= z <= 18") (fun () ->
+      ignore (Scf.occupations 19))
+
+(* ---- full SCF ------------------------------------------------------------ *)
+
+let test_scf_hydrogen () =
+  let r = Scf.solve ~z:1 () in
+  check_true "converged" r.Scf.converged;
+  (* NIST LDA reference (spin-unpolarized, VWN): -0.445671 Ha *)
+  check_close ~tol:1e-4 "H total energy" (-0.445671) r.Scf.energy;
+  check_close ~tol:1e-6 "charge conserved" 1.0
+    (Poisson.total_charge (Radial_grid.for_atom ~z:1 ()) r.Scf.density)
+
+let test_scf_helium () =
+  let r = Scf.solve ~z:2 () in
+  check_true "converged" r.Scf.converged;
+  check_close ~tol:1e-4 "He total energy (NIST LDA)" (-2.834836) r.Scf.energy;
+  (* 1s eigenvalue reference ~ -0.570425 Ha *)
+  (match r.Scf.eigenvalues with
+  | [ (orb, e) ] ->
+      Alcotest.(check int) "1s" 1 orb.Scf.n;
+      check_close ~tol:1e-3 "He 1s eigenvalue" (-0.570425) e
+  | _ -> Alcotest.fail "one orbital");
+  check_true "E_xc negative" (r.Scf.e_xc < 0.0);
+  check_true "E_H positive" (r.Scf.e_hartree > 0.0)
+
+let test_scf_correlation_choice () =
+  (* VWN-RPA overbinds vs VWN5 (RPA correlation energies are too deep) *)
+  let vwn5 = Scf.solve ~z:2 () in
+  let rpa = Scf.solve ~z:2 ~xc:(Registry.find "vwn_rpa") () in
+  check_true "RPA lower" (rpa.Scf.energy < vwn5.Scf.energy);
+  check_true "by tens of mHa"
+    (vwn5.Scf.energy -. rpa.Scf.energy > 0.02
+    && vwn5.Scf.energy -. rpa.Scf.energy < 0.2);
+  (* PW92 ~ VWN5 (same data) *)
+  let pw92 = Scf.solve ~z:2 ~xc:(Registry.find "pw92") () in
+  check_true "PW92 close to VWN5"
+    (Float.abs (pw92.Scf.energy -. vwn5.Scf.energy) < 2e-3)
+
+let test_scf_neon_slow () =
+  let r = Scf.solve ~z:10 () in
+  check_true "converged" r.Scf.converged;
+  check_close ~tol:1e-5 "Ne total energy (NIST LDA)" (-128.233481)
+    (r.Scf.energy /. 1.0);
+  Alcotest.(check int) "three shells" 3 (List.length r.Scf.eigenvalues)
+
+let suite =
+  [
+    case "log grid" test_grid;
+    case "grid integration" test_grid_integration;
+    case "hydrogen 1s wavefunction" test_hydrogen_1s_wavefunction;
+    case "poisson: exponential density" test_poisson_exponential;
+    case "xc potential = d(n eps)/dn" test_xc_potential_derivative;
+    case "aufbau occupations" test_occupations;
+    case "SCF hydrogen vs NIST" test_scf_hydrogen;
+    case "SCF helium vs NIST" test_scf_helium;
+    case "SCF correlation parametrizations" test_scf_correlation_choice;
+    slow_case "SCF neon vs NIST" test_scf_neon_slow;
+  ]
+  @ hydrogenic_cases

@@ -1,0 +1,163 @@
+open Testutil
+
+(* Hand-constructed outcomes: paint-log semantics without any solver. *)
+
+let iv = Interval.make
+let box2 (xl, xh) (yl, yh) = Box.make [ ("x", iv xl xh); ("y", iv yl yh) ]
+let domain = box2 (0.0, 4.0) (0.0, 4.0)
+
+let mk_outcome regions =
+  {
+    Outcome.dfa = "TEST";
+    condition = "t";
+    domain;
+    regions;
+    solver_calls = List.length regions;
+    total_expansions = 0;
+    elapsed = 0.0;
+  }
+
+let region ?(depth = 0) status box = { Outcome.box; status; depth }
+
+let test_paint_order_overrides () =
+  (* Parent timeout painted first, child verified repaints its quadrant. *)
+  let o =
+    mk_outcome
+      [
+        region Outcome.Timeout domain;
+        region ~depth:1 Outcome.Verified (box2 (0.0, 2.0) (0.0, 2.0));
+      ]
+  in
+  let c = Outcome.coverage ~resolution:64 o in
+  check_close ~tol:0.02 "quarter verified" 0.25 c.Outcome.verified;
+  check_close ~tol:0.02 "rest timeout" 0.75 c.Outcome.timeout;
+  check_true "partial" (Outcome.classify o = Outcome.Partial_verified)
+
+let test_reverse_order_is_different () =
+  (* Painting the parent AFTER the child hides the child — order matters,
+     as in the paper's recursion (parents always precede children). *)
+  let o =
+    mk_outcome
+      [
+        region ~depth:1 Outcome.Verified (box2 (0.0, 2.0) (0.0, 2.0));
+        region Outcome.Timeout domain;
+      ]
+  in
+  let c = Outcome.coverage ~resolution:64 o in
+  check_close "child hidden" 1.0 c.Outcome.timeout
+
+let test_counterexample_dominates_classification () =
+  let model = [ ("x", 1.0); ("y", 1.0) ] in
+  let o =
+    mk_outcome
+      [
+        region Outcome.Verified domain;
+        region ~depth:3 (Outcome.Counterexample model)
+          (box2 (0.9, 1.1) (0.9, 1.1));
+      ]
+  in
+  (* tiny cex region, overwhelmingly verified coverage: still Refuted *)
+  check_true "refuted" (Outcome.classify o = Outcome.Refuted);
+  Alcotest.(check (option (list (pair string (float 1e-12)))))
+    "model retrievable" (Some model)
+    (Outcome.first_counterexample o)
+
+let test_unknown_classification () =
+  let o =
+    mk_outcome
+      [
+        region Outcome.Timeout domain;
+        region ~depth:1
+          (Outcome.Inconclusive [ ("x", 0.5); ("y", 0.5) ])
+          (box2 (0.0, 1.0) (0.0, 1.0));
+      ]
+  in
+  check_true "unknown" (Outcome.classify o = Outcome.Unknown);
+  let c = Outcome.coverage ~resolution:32 o in
+  check_close "fractions sum to 1" 1.0
+    (c.Outcome.verified +. c.Outcome.counterexample +. c.Outcome.inconclusive
+   +. c.Outcome.timeout)
+
+let test_rasterize_orientation () =
+  (* verified strip at high y only *)
+  let o =
+    mk_outcome
+      [
+        region Outcome.Timeout domain;
+        region ~depth:1 Outcome.Verified (box2 (0.0, 4.0) (3.0, 4.0));
+      ]
+  in
+  let grid = Outcome.rasterize o ~xdim:"x" ~ydim:"y" ~nx:8 ~ny:8 in
+  (* row 0 = low y = timeout; row 7 = high y = verified *)
+  check_true "low rows timeout" (grid.(0).(0) = Outcome.Timeout);
+  check_true "high rows verified" (grid.(7).(0) = Outcome.Verified);
+  (* the rendered map puts high y on the first printed row *)
+  let map = Render.outcome_map ~nx:8 ~ny:8 o in
+  let first_data_line =
+    List.nth (String.split_on_char '\n' map) 1
+  in
+  check_true "top of map verified" (String.contains first_data_line '.')
+
+let test_1d_outcome_render () =
+  let d1 = Box.make [ ("rs", iv 0.0 4.0) ] in
+  let o =
+    {
+      Outcome.dfa = "LDA-TEST";
+      condition = "t";
+      domain = d1;
+      regions =
+        [
+          { Outcome.box = d1; status = Outcome.Timeout; depth = 0 };
+          {
+            Outcome.box = Box.make [ ("rs", iv 0.0 2.0) ];
+            status = Outcome.Verified;
+            depth = 1;
+          };
+          (* strictly below the domain midpoint: regression guard for the
+             1-D rasterization row-check bug *)
+          {
+            Outcome.box = Box.make [ ("rs", iv 0.0 1.0) ];
+            status = Outcome.Counterexample [ ("rs", 0.5) ];
+            depth = 2;
+          };
+        ];
+      solver_calls = 2;
+      total_expansions = 0;
+      elapsed = 0.0;
+    }
+  in
+  let map = Render.outcome_map ~nx:16 o in
+  check_true "one row" (List.length (String.split_on_char '\n' map) <= 4);
+  check_true "has verified glyph" (String.contains map '.');
+  check_true "has timeout glyph" (String.contains map 'T');
+  check_true "has counterexample glyph" (String.contains map '#');
+  let c = Outcome.coverage ~resolution:16 o in
+  check_close ~tol:0.07 "quarter verified" 0.25 c.Outcome.verified;
+  check_close ~tol:0.07 "quarter counterexample" 0.25 c.Outcome.counterexample
+
+let test_empty_region_log () =
+  (* nothing painted: everything defaults to timeout, classified unknown *)
+  let o = mk_outcome [] in
+  let c = Outcome.coverage o in
+  check_close "all timeout" 1.0 c.Outcome.timeout;
+  check_true "unknown" (Outcome.classify o = Outcome.Unknown)
+
+let test_summary_format () =
+  let o = mk_outcome [ region Outcome.Verified domain ] in
+  let s = Format.asprintf "%a" Outcome.pp_summary o in
+  check_true "has dfa" (contains_sub s "TEST");
+  check_true "has percentage" (contains_sub s "100.0%");
+  check_true "has OK" (contains_sub s "OK")
+
+let suite =
+  [
+    case "paint order: children override parents" test_paint_order_overrides;
+    case "paint order is significant" test_reverse_order_is_different;
+    case "counterexample dominates classification"
+      test_counterexample_dominates_classification;
+    case "all-unresolved classifies unknown" test_unknown_classification;
+    case "rasterization orientation" test_rasterize_orientation;
+    case "1-D outcomes render as a strip" test_1d_outcome_render;
+    case "empty paint log" test_empty_region_log;
+    case "summary formatting" test_summary_format;
+  ]

@@ -1,0 +1,174 @@
+open Testutil
+
+let rs_n = Dft_vars.rs_name
+let s_n = Dft_vars.s_name
+
+(* ---- mesh ------------------------------------------------------------ *)
+
+let test_linspace () =
+  let xs = Mesh.linspace 0.0 1.0 5 in
+  Alcotest.(check int) "length" 5 (Array.length xs);
+  check_close "first" 0.0 xs.(0);
+  check_close "last" 1.0 xs.(4);
+  check_close "spacing" 0.25 (xs.(1) -. xs.(0));
+  Alcotest.check_raises "n < 2"
+    (Invalid_argument "Mesh.linspace: need at least two samples") (fun () ->
+      ignore (Mesh.linspace 0.0 1.0 1))
+
+let test_mesh_indexing () =
+  let m =
+    Mesh.make
+      [ ("a", Mesh.linspace 0.0 1.0 3); ("b", Mesh.linspace 10.0 12.0 2) ]
+  in
+  Alcotest.(check (list int)) "shape" [ 3; 2 ] (Mesh.shape m);
+  Alcotest.(check int) "size" 6 (Mesh.size m);
+  (* row-major: first axis slowest *)
+  Alcotest.(check (list (pair string (float 1e-12))))
+    "point 0"
+    [ ("a", 0.0); ("b", 10.0) ]
+    (Mesh.point m 0);
+  Alcotest.(check (list (pair string (float 1e-12))))
+    "point 1"
+    [ ("a", 0.0); ("b", 12.0) ]
+    (Mesh.point m 1);
+  Alcotest.(check (list (pair string (float 1e-12))))
+    "point 2"
+    [ ("a", 0.5); ("b", 10.0) ]
+    (Mesh.point m 2);
+  Alcotest.(check int) "stride of axis 0" 2 (Mesh.stride m 0);
+  Alcotest.(check int) "stride of axis 1" 1 (Mesh.stride m 1)
+
+(* ---- numdiff ---------------------------------------------------------- *)
+
+let test_gradient_exact_on_quadratics () =
+  (* second-order scheme is exact on degree-2 polynomials *)
+  let xs = Mesh.linspace 0.0 2.0 21 in
+  let ys = Array.map (fun x -> (3.0 *. x *. x) -. (2.0 *. x) +. 5.0) xs in
+  let d = Numdiff.gradient1d ys xs in
+  Array.iteri
+    (fun i x ->
+      check_close ~tol:1e-9
+        (Printf.sprintf "d/dx at %g" x)
+        ((6.0 *. x) -. 2.0)
+        d.(i))
+    xs
+
+let test_gradient_convergence () =
+  (* error of the central scheme on sin must fall ~ h^2 *)
+  let err n =
+    let xs = Mesh.linspace 0.0 Float.pi n in
+    let ys = Array.map Stdlib.sin xs in
+    let d = Numdiff.gradient1d ys xs in
+    let worst = ref 0.0 in
+    (* interior points only: edges are one-sided and larger *)
+    for i = 1 to n - 2 do
+      worst := Float.max !worst (Float.abs (d.(i) -. Stdlib.cos xs.(i)))
+    done;
+    !worst
+  in
+  let e1 = err 51 and e2 = err 101 in
+  check_true
+    (Printf.sprintf "error drops ~4x when h halves (%.3g -> %.3g)" e1 e2)
+    (e2 < e1 /. 3.0)
+
+let test_second_derivative () =
+  let xs = Mesh.linspace 1.0 3.0 201 in
+  let ys = Array.map (fun x -> x *. x *. x) xs in
+  let d2 = Numdiff.second_derivative1d ys xs in
+  (* away from edges d2 = 6x to good accuracy *)
+  for i = 5 to 195 do
+    check_close ~tol:1e-3 "x^3 second derivative" (6.0 *. xs.(i)) d2.(i)
+  done
+
+let test_gradient_axis () =
+  (* f(a, b) = a^2 b over a 2D grid; d/da = 2ab along axis 0 *)
+  let na = 30 and nb = 7 in
+  let axs = Mesh.linspace 1.0 2.0 na and bxs = Mesh.linspace 0.0 3.0 nb in
+  let values =
+    Array.init (na * nb) (fun k ->
+        let i = k / nb and j = k mod nb in
+        axs.(i) *. axs.(i) *. bxs.(j))
+  in
+  let d = Numdiff.gradient_axis values ~shape:[ na; nb ] ~axis:0 ~coords:axs in
+  for i = 0 to na - 1 do
+    for j = 0 to nb - 1 do
+      check_close ~tol:1e-9 "axis-0 gradient"
+        (2.0 *. axs.(i) *. bxs.(j))
+        d.((i * nb) + j)
+    done
+  done
+
+(* ---- baseline --------------------------------------------------------- *)
+
+let test_pb_lyp_ec1 () =
+  match Pbcheck.check ~n:60 (Registry.find "lyp") Conditions.Ec1 with
+  | Some r ->
+      check_false "violated" r.Pbcheck.satisfied;
+      check_true "sizable violating fraction"
+        (r.Pbcheck.violation_fraction > 0.2);
+      (match Pbcheck.violation_boundary_s r with
+      | Some s ->
+          check_true
+            (Printf.sprintf "boundary near paper's 1.66 (got %.3f)" s)
+            (s > 1.3 && s < 2.1)
+      | None -> Alcotest.fail "boundary expected");
+      Alcotest.(check int) "ten example violations kept" 10
+        (List.length r.Pbcheck.first_violations)
+  | None -> Alcotest.fail "applicable"
+
+let test_pb_pbe_ec1 () =
+  match Pbcheck.check ~n:60 (Registry.find "pbe") Conditions.Ec1 with
+  | Some r -> check_true "PBE satisfies EC1 on the grid" r.Pbcheck.satisfied
+  | None -> Alcotest.fail "applicable"
+
+let test_pb_pbe_ec7 () =
+  match Pbcheck.check ~n:60 (Registry.find "pbe") Conditions.Ec7 with
+  | Some r ->
+      check_false "PBE violates conjectured Tc bound" r.Pbcheck.satisfied;
+      (* violations live at small rs / high s (upper-left of Figure 1f) *)
+      List.iter
+        (fun pt ->
+          let rs = List.assoc rs_n pt and s = List.assoc s_n pt in
+          check_true "violation in upper-left" (s > rs))
+        r.Pbcheck.first_violations
+  | None -> Alcotest.fail "applicable"
+
+let test_pb_vwn_all () =
+  List.iter
+    (fun cond ->
+      match Pbcheck.check ~n:200 (Registry.find "vwn_rpa") cond with
+      | Some r ->
+          check_true
+            (Printf.sprintf "VWN RPA satisfies %s" (Conditions.name cond))
+            r.Pbcheck.satisfied
+      | None -> ())
+    (Conditions.applicable (Registry.find "vwn_rpa"))
+
+let test_pb_inapplicable () =
+  Alcotest.(check (option reject)) "no LO for VWN" None
+    (Pbcheck.check (Registry.find "vwn_rpa") Conditions.Ec4)
+
+let test_pb_scan_small () =
+  (* meta-GGA grid runs in 3D; keep it tiny for test speed *)
+  match Pbcheck.check ~n:12 ~n_alpha:6 (Registry.find "scan") Conditions.Ec1 with
+  | Some r ->
+      Alcotest.(check (list int)) "3D mesh" [ 12; 12; 6 ]
+        (Mesh.shape r.Pbcheck.mesh);
+      check_true "SCAN satisfies EC1 on the coarse grid" r.Pbcheck.satisfied
+  | None -> Alcotest.fail "applicable"
+
+let suite =
+  [
+    case "linspace" test_linspace;
+    case "mesh indexing" test_mesh_indexing;
+    case "gradient exact on quadratics" test_gradient_exact_on_quadratics;
+    case "gradient second-order convergence" test_gradient_convergence;
+    case "iterated second derivative" test_second_derivative;
+    case "gradient along an axis" test_gradient_axis;
+    case "PB finds LYP EC1 violations" test_pb_lyp_ec1;
+    case "PB passes PBE EC1" test_pb_pbe_ec1;
+    case "PB finds PBE EC7 violations" test_pb_pbe_ec7;
+    slow_case "PB passes all VWN RPA conditions" test_pb_vwn_all;
+    case "PB skips inapplicable pairs" test_pb_inapplicable;
+    case "PB handles 3D meshes (SCAN)" test_pb_scan_small;
+  ]

@@ -1,0 +1,86 @@
+open Testutil
+
+let mk = Rat.make
+
+let test_normalization () =
+  Alcotest.(check bool) "6/4 = 3/2" true (Rat.equal (mk 6 4) (mk 3 2));
+  Alcotest.(check bool) "-1/-2 = 1/2" true (Rat.equal (mk (-1) (-2)) Rat.half);
+  Alcotest.(check bool) "1/-2 has positive den" true ((mk 1 (-2)).Rat.den > 0);
+  Alcotest.(check int) "0/7 normalizes den" 1 (mk 0 7).Rat.den
+
+let test_zero_den () =
+  Alcotest.check_raises "den 0" Division_by_zero (fun () -> ignore (mk 1 0))
+
+let test_arith () =
+  check_true "1/2 + 1/3 = 5/6" (Rat.equal (Rat.add Rat.half Rat.third) (mk 5 6));
+  check_true "1/2 * 2/3 = 1/3" (Rat.equal (Rat.mul Rat.half (mk 2 3)) Rat.third);
+  check_true "1/2 - 1/2 = 0" (Rat.is_zero (Rat.sub Rat.half Rat.half));
+  check_true "(2/3) / (4/3) = 1/2"
+    (Rat.equal (Rat.div (mk 2 3) (mk 4 3)) Rat.half);
+  check_true "inv 2/5 = 5/2" (Rat.equal (Rat.inv (mk 2 5)) (mk 5 2));
+  check_true "neg" (Rat.equal (Rat.neg (mk 3 7)) (mk (-3) 7));
+  check_true "abs" (Rat.equal (Rat.abs (mk (-3) 7)) (mk 3 7))
+
+let test_compare () =
+  check_true "1/3 < 1/2" (Rat.compare Rat.third Rat.half < 0);
+  check_true "sign neg" (Rat.sign (mk (-2) 5) = -1);
+  check_true "sign zero" (Rat.sign Rat.zero = 0);
+  check_true "is_one" (Rat.is_one (mk 7 7))
+
+let test_conversions () =
+  check_close "to_float 3/4" 0.75 (Rat.to_float (mk 3 4));
+  Alcotest.(check (option int)) "to_int 8/2" (Some 4) (Rat.to_int (mk 8 2));
+  Alcotest.(check (option int)) "to_int 1/2" None (Rat.to_int Rat.half);
+  (match Rat.of_float 0.804 with
+  | Some r -> check_close "of_float decimal" 0.804 (Rat.to_float r)
+  | None -> Alcotest.fail "0.804 should round-trip");
+  (match Rat.of_float 42.0 with
+  | Some r -> check_true "of_float int" (Rat.equal r (Rat.of_int 42))
+  | None -> Alcotest.fail "42.0 should round-trip");
+  Alcotest.(check (option reject)) "of_float pi" None (Rat.of_float Float.pi)
+
+let test_overflow () =
+  (* components above 2^53 are rejected at construction... *)
+  Alcotest.check_raises "construction overflow" Rat.Overflow (fun () ->
+      ignore (mk max_int 1));
+  (* ...and arithmetic that would overflow raises rather than wrapping *)
+  let big = mk (1 lsl 40) 1 in
+  Alcotest.check_raises "mul overflow" Rat.Overflow (fun () ->
+      ignore (Rat.mul big big))
+
+let test_pp () =
+  Alcotest.(check string) "pp int" "5" (Rat.to_string (mk 5 1));
+  Alcotest.(check string) "pp frac" "-2/3" (Rat.to_string (mk 2 (-3)))
+
+let rat_pair_gen = QCheck2.Gen.(pair (int_range (-1000) 1000) (int_range 1 1000))
+
+let suite =
+  [
+    case "normalization" test_normalization;
+    case "zero denominator" test_zero_den;
+    case "field operations" test_arith;
+    case "comparisons" test_compare;
+    case "conversions" test_conversions;
+    case "overflow detection" test_overflow;
+    case "printing" test_pp;
+    qcheck "add commutes with to_float"
+      QCheck2.Gen.(pair rat_pair_gen rat_pair_gen)
+      (fun ((a, b), (c, d)) ->
+        let r = Rat.add (mk a b) (mk c d) in
+        let f = (float_of_int a /. float_of_int b) +. (float_of_int c /. float_of_int d) in
+        Float.abs (Rat.to_float r -. f) <= 1e-9 *. (1.0 +. Float.abs f));
+    qcheck "mul then div is identity"
+      QCheck2.Gen.(pair rat_pair_gen rat_pair_gen)
+      (fun ((a, b), (c, d)) ->
+        QCheck2.assume (a <> 0);
+        let x = mk a b and y = mk c d in
+        Rat.equal y (Rat.div (Rat.mul x y) x));
+    qcheck "compare consistent with to_float"
+      QCheck2.Gen.(pair rat_pair_gen rat_pair_gen)
+      (fun ((a, b), (c, d)) ->
+        let x = mk a b and y = mk c d in
+        let c1 = Stdlib.compare (Rat.to_float x) (Rat.to_float y) in
+        (* float comparison may see ties that exact comparison resolves; only
+           require agreement when floats differ *)
+        c1 = 0 || Stdlib.compare (Rat.compare x y) 0 = c1);
+  ]

@@ -1,0 +1,88 @@
+open Testutil
+
+let config =
+  {
+    Verify.threshold = 0.7;
+    solver =
+      { Icp.default_config with fuel = 200; delta = 1e-3; contractor_rounds = 2 };
+    deadline_seconds = Some 10.0;
+    workers = 1;
+    use_taylor = false;
+  }
+
+let outcome dfa cond =
+  Option.get (Xcverifier.verify ~config ~dfa ~condition:cond ())
+
+let same_status a b =
+  match a, b with
+  | Outcome.Verified, Outcome.Verified | Outcome.Timeout, Outcome.Timeout ->
+      true
+  | Outcome.Counterexample m1, Outcome.Counterexample m2
+  | Outcome.Inconclusive m1, Outcome.Inconclusive m2 ->
+      m1 = m2
+  | _ -> false
+
+let check_roundtrip o =
+  let o' = Serialize.of_string (Serialize.to_string o) in
+  Alcotest.(check string) "dfa" o.Outcome.dfa o'.Outcome.dfa;
+  Alcotest.(check string) "condition" o.Outcome.condition o'.Outcome.condition;
+  Alcotest.(check int) "calls" o.Outcome.solver_calls o'.Outcome.solver_calls;
+  Alcotest.(check int) "expansions" o.Outcome.total_expansions
+    o'.Outcome.total_expansions;
+  check_close "elapsed" o.Outcome.elapsed o'.Outcome.elapsed;
+  check_true "domain" (Box.equal o.Outcome.domain o'.Outcome.domain);
+  Alcotest.(check int) "region count"
+    (List.length o.Outcome.regions)
+    (List.length o'.Outcome.regions);
+  List.iter2
+    (fun (a : Outcome.region) (b : Outcome.region) ->
+      check_true "box bit-exact" (Box.equal a.Outcome.box b.Outcome.box);
+      Alcotest.(check int) "depth" a.Outcome.depth b.Outcome.depth;
+      check_true "status" (same_status a.Outcome.status b.Outcome.status))
+    o.Outcome.regions o'.Outcome.regions;
+  (* derived artifacts must agree exactly *)
+  Alcotest.(check string) "re-rendered map"
+    (Render.outcome_map o) (Render.outcome_map o');
+  check_true "same classification" (Outcome.classify o = Outcome.classify o')
+
+let test_roundtrip_lyp () = check_roundtrip (outcome "lyp" "ec1")
+let test_roundtrip_vwn () = check_roundtrip (outcome "vwn_rpa" "ec7")
+
+let test_label_escaping () =
+  (* "VWN RPA" has a space; must survive the atom encoding *)
+  let o = outcome "vwn_rpa" "ec1" in
+  Alcotest.(check string) "label with space" "VWN RPA"
+    (Serialize.of_string (Serialize.to_string o)).Outcome.dfa
+
+let test_file_archive () =
+  let outcomes = [ outcome "lyp" "ec1"; outcome "vwn_rpa" "ec1" ] in
+  let path = Filename.temp_file "xcv" ".outcomes" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Serialize.save path outcomes;
+      let loaded = Serialize.load path in
+      Alcotest.(check int) "count" 2 (List.length loaded);
+      (* Table I rebuilt from the archive matches the live one *)
+      Alcotest.(check string) "table from archive"
+        (Report.table1 outcomes)
+        (Report.table1 loaded))
+
+let test_rejects_garbage () =
+  let fails s =
+    match Serialize.of_string s with
+    | exception Parser.Parse_error _ -> ()
+    | _ -> Alcotest.failf "should reject %S" s
+  in
+  fails "(not-an-outcome)";
+  fails "(outcome 999 (dfa x) (condition y))";
+  fails "((("
+
+let suite =
+  [
+    case "round-trip LYP EC1" test_roundtrip_lyp;
+    case "round-trip VWN EC7" test_roundtrip_vwn;
+    case "label escaping" test_label_escaping;
+    case "file archive + table rebuild" test_file_archive;
+    case "rejects malformed input" test_rejects_garbage;
+  ]

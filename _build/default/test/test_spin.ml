@@ -1,0 +1,159 @@
+open Testutil
+
+let rs_n = Dft_vars.rs_name
+let s_n = Dft_vars.s_name
+let z_n = Spin.zeta_name
+
+let test_interp_function () =
+  check_close "f(0) = 0" 0.0 (Eval.eval1 z_n 0.0 Spin.f_interp);
+  check_close "f(1) = 1" 1.0 (Eval.eval1 z_n 1.0 Spin.f_interp);
+  (* convex and increasing on [0, 1] *)
+  let prev = ref 0.0 in
+  for i = 1 to 20 do
+    let z = float_of_int i /. 20.0 in
+    let f = Eval.eval1 z_n z Spin.f_interp in
+    check_true "increasing" (f > !prev);
+    prev := f
+  done;
+  (* f''(0) check by finite differences *)
+  let h = 1e-4 in
+  let f h = Eval.eval1 z_n h Spin.f_interp in
+  let second = (f h -. (2.0 *. f 0.0) +. f (-.h)) /. (h *. h) in
+  check_close ~tol:1e-5 "f''(0)" Spin.fpp0 second
+
+let test_phi () =
+  check_close "phi(0) = 1" 1.0 (Eval.eval1 z_n 0.0 Spin.phi);
+  check_close ~tol:1e-12 "phi(1) = 2^(-1/3)"
+    (Float.pow 2.0 (-1.0 /. 3.0))
+    (Eval.eval1 z_n 1.0 Spin.phi);
+  (* decreasing in zeta *)
+  check_true "phi decreasing"
+    (Eval.eval1 z_n 0.8 Spin.phi < Eval.eval1 z_n 0.2 Spin.phi)
+
+let test_lda_exchange_spin () =
+  List.iter
+    (fun rs ->
+      check_close "zeta=0 is unpolarized" (Uniform.eps_x_at rs)
+        (Eval.eval [ (rs_n, rs); (z_n, 0.0) ] Spin.eps_x_lda_spin);
+      check_close "zeta=1 is 2^(1/3) deeper"
+        (Float.cbrt 2.0 *. Uniform.eps_x_at rs)
+        (Eval.eval [ (rs_n, rs); (z_n, 1.0) ] Spin.eps_x_lda_spin))
+    [ 0.3; 1.0; 4.0 ]
+
+let test_pw92_channels () =
+  List.iter
+    (fun rs ->
+      (* zeta = 0 reduces to the paramagnetic fit *)
+      check_close
+        (Printf.sprintf "para at rs=%g" rs)
+        (Lda_pw92.eps_c_at rs)
+        (Eval.eval [ (rs_n, rs); (z_n, 0.0) ] Spin.eps_c_pw92_spin);
+      (* zeta = 1 reduces to the ferromagnetic fit *)
+      check_close
+        (Printf.sprintf "ferro at rs=%g" rs)
+        (Eval.eval1 rs_n rs Spin.pw92_ferro)
+        (Eval.eval [ (rs_n, rs); (z_n, 1.0) ] Spin.eps_c_pw92_spin);
+      (* ferromagnetic correlation is weaker *)
+      check_true "|ferro| < |para|"
+        (Float.abs (Eval.eval1 rs_n rs Spin.pw92_ferro)
+        < Float.abs (Lda_pw92.eps_c_at rs));
+      (* spin stiffness positive *)
+      check_true "alpha_c > 0" (Eval.eval1 rs_n rs Spin.pw92_alpha_c > 0.0))
+    [ 0.1; 1.0; 2.0; 10.0 ]
+
+let test_pw92_monotone_in_zeta () =
+  (* at fixed rs the correlation magnitude decreases with polarization *)
+  List.iter
+    (fun rs ->
+      let prev = ref Float.neg_infinity in
+      for i = 0 to 10 do
+        let z = float_of_int i /. 10.0 in
+        let v = Eval.eval [ (rs_n, rs); (z_n, z) ] Spin.eps_c_pw92_spin in
+        check_true "negative" (v < 0.0);
+        check_true "increasing toward 0 with zeta" (v >= !prev);
+        prev := v
+      done)
+    [ 0.5; 2.0 ]
+
+let test_pbe_spin_reductions () =
+  List.iter
+    (fun (rs, s) ->
+      check_close ~tol:1e-10
+        (Printf.sprintf "PBE c spin zeta=0 at (%g, %g)" rs s)
+        (Gga_pbe.eps_c_at ~rs ~s)
+        (Spin.eval3 ~rs ~s ~zeta:0.0 Spin.eps_c_pbe_spin);
+      check_close ~tol:1e-10
+        (Printf.sprintf "PBE x spin zeta=0 at (%g, %g)" rs s)
+        (Gga_pbe.eps_x_at ~rs ~s)
+        (Spin.eval3 ~rs ~s ~zeta:0.0 Spin.eps_x_pbe_spin))
+    [ (0.2, 0.1); (1.0, 1.0); (4.0, 3.3) ]
+
+let test_pbe_spin_ec1_samples () =
+  (* PBE correlation stays non-positive across the spin domain *)
+  List.iter
+    (fun (rs, s, z) ->
+      check_true
+        (Printf.sprintf "eps_c <= 0 at (%g, %g, %g)" rs s z)
+        (Spin.eval3 ~rs ~s ~zeta:z Spin.eps_c_pbe_spin <= 1e-12))
+    [
+      (0.01, 1.0, 0.5); (0.5, 3.0, 0.9); (1.0, 0.0, 0.3); (3.0, 5.0, 0.7);
+      (5.0, 2.0, 0.95);
+    ]
+
+let test_exchange_scaling_consistency () =
+  (* scale_exchange of the trivial enhancement (F = 1) must reproduce the
+     closed-form LDA spin exchange *)
+  let lda_scaled = Spin.scale_exchange Expr.one in
+  List.iter
+    (fun (rs, z) ->
+      check_close
+        (Printf.sprintf "LDA scaling at rs=%g zeta=%g" rs z)
+        (Eval.eval [ (rs_n, rs); (z_n, z) ] Spin.eps_x_lda_spin)
+        (Eval.eval [ (rs_n, rs); (s_n, 1.23); (z_n, z) ] lda_scaled))
+    [ (0.5, 0.0); (1.0, 0.4); (2.0, 1.0) ]
+
+let test_at_zeta () =
+  let sliced = Spin.at_zeta 0.0 Spin.eps_c_pw92_spin in
+  check_true "zeta eliminated" (not (Expr.mem_var z_n sliced));
+  check_close "slice value" (Lda_pw92.eps_c_at 2.0)
+    (Eval.eval1 rs_n 2.0 sliced)
+
+let test_spin_derivatives_match_dual () =
+  (* the spin forms must differentiate cleanly in all three variables *)
+  let env = [ (rs_n, 1.3); (s_n, 0.8); (z_n, 0.45) ] in
+  List.iter
+    (fun wrt ->
+      let sym =
+        Eval.eval env (Deriv.diff ~wrt Spin.eps_c_pbe_spin)
+      in
+      let dual = (Dual.eval env ~wrt Spin.eps_c_pbe_spin).Dual.d in
+      check_close ~tol:1e-7 (Printf.sprintf "d/d%s" wrt) dual sym)
+    [ rs_n; s_n; z_n ]
+
+let suite =
+  [
+    case "interpolation function f(zeta)" test_interp_function;
+    case "phi(zeta)" test_phi;
+    case "LDA exchange spin scaling" test_lda_exchange_spin;
+    case "PW92 three channels" test_pw92_channels;
+    case "PW92 monotone in zeta" test_pw92_monotone_in_zeta;
+    case "PBE spin reduces at zeta=0" test_pbe_spin_reductions;
+    case "PBE spin EC1 samples" test_pbe_spin_ec1_samples;
+    case "exchange scaling vs closed form" test_exchange_scaling_consistency;
+    case "zeta slicing" test_at_zeta;
+    case "spin derivatives vs dual AD" test_spin_derivatives_match_dual;
+    qcheck ~count:100 "PBE spin correlation non-positive"
+      QCheck2.Gen.(
+        tup3 (float_range 0.0001 5.0) (float_range 0.0 5.0)
+          (float_range 0.0 0.99))
+      (fun (rs, s, z) ->
+        Spin.eval3 ~rs ~s ~zeta:z Spin.eps_c_pbe_spin <= 1e-12);
+    qcheck ~count:100 "spin exchange negative and deepening with zeta"
+      QCheck2.Gen.(
+        tup3 (float_range 0.01 5.0) (float_range 0.0 5.0)
+          (float_range 0.0 0.9))
+      (fun (rs, s, z) ->
+        let e0 = Spin.eval3 ~rs ~s ~zeta:0.0 Spin.eps_x_pbe_spin in
+        let ez = Spin.eval3 ~rs ~s ~zeta:z Spin.eps_x_pbe_spin in
+        e0 < 0.0 && ez <= e0 +. 1e-12);
+  ]

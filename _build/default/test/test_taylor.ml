@@ -1,0 +1,143 @@
+open Testutil
+open Expr
+
+let x = var "x"
+let y = var "y"
+
+let iv = Interval.make
+let box2 (xl, xh) (yl, yh) = Box.make [ ("x", iv xl xh); ("y", iv yl yh) ]
+
+let test_enclosure_tightens () =
+  (* f = x - x^2 on a small box: the natural extension loses the x/x^2
+     correlation; the mean value form recovers most of it. *)
+  let f = sub x (sqr x) in
+  let atom = Form.le f in
+  let prep = Taylor.prepare atom in
+  let small = Box.make [ ("x", iv 0.49 0.51) ] in
+  let natural = Ieval.eval (Box.to_env small) f in
+  let mvf = Taylor.enclosure prep small in
+  check_true "mvf subset of natural" (Interval.subset mvf natural);
+  check_true "strictly tighter" (Interval.width mvf < Interval.width natural);
+  (* and still contains the true range [f(0.49), 0.25] *)
+  check_true "contains f(0.49)" (Interval.mem (0.49 -. (0.49 *. 0.49)) mvf);
+  check_true "contains 0.25 (max at x=1/2)" (Interval.mem 0.25 mvf)
+
+let test_enclosure_contains_samples =
+  qcheck "mvf enclosure contains sampled values"
+    QCheck2.Gen.(
+      tup4 expr_gen (float_range 0.0 1.0) (float_range 0.0 0.2)
+        (float_range 0.0 1.0))
+    (fun (e, lo, w, frac) ->
+      let prep = Taylor.prepare (Form.le e) in
+      let b = box2 (lo, lo +. w) (0.2, 0.4) in
+      let i = Taylor.enclosure prep b in
+      let xv = lo +. (frac *. w) in
+      let v = Eval.eval [ ("x", xv); ("y", 0.3) ] e in
+      Float.is_nan v || (not (Float.is_finite v)) || Interval.mem v i)
+
+let test_contract_infeasible () =
+  (* x - x^2 <= -1 is impossible on [0, 1] (min is 0 - 1 = ... actually
+     f in [-0, 0.25]; f <= -1 infeasible); MVF on a small box proves it
+     directly. *)
+  let f = add (sub x (sqr x)) one in
+  (* f >= 0 + 1 > 0 on [0,1]: constraint f <= 0 infeasible *)
+  let prep = Taylor.prepare (Form.le f) in
+  match Taylor.contract prep (Box.make [ ("x", iv 0.4 0.6) ]) with
+  | Hc4.Infeasible -> ()
+  | Hc4.Contracted _ -> Alcotest.fail "should prove infeasible"
+
+let test_contract_newton_step () =
+  (* Monotone constraint: 2x - 1 <= 0 on [0.4, 0.6] contracts to
+     [0.4, ~0.5] via the linear solve. *)
+  let f = sub (mul two x) one in
+  let prep = Taylor.prepare (Form.le f) in
+  match Taylor.contract prep (Box.make [ ("x", iv 0.4 0.6) ]) with
+  | Hc4.Infeasible -> Alcotest.fail "feasible"
+  | Hc4.Contracted b ->
+      let xi = Box.get b "x" in
+      check_true "upper bound near 0.5"
+        (Interval.sup xi <= 0.5001 && Interval.sup xi >= 0.4999);
+      check_close "lower bound kept" 0.4 (Interval.inf xi)
+
+let test_piecewise_degrades () =
+  (* undecided guard: the contractor must be a no-op, not unsound *)
+  let pw = if_lt x (const 0.5) ~then_:(neg one) ~else_:one in
+  let prep = Taylor.prepare (Form.le pw) in
+  match Taylor.contract prep (Box.make [ ("x", iv 0.0 1.0) ]) with
+  | Hc4.Infeasible -> Alcotest.fail "must not decide across the seam"
+  | Hc4.Contracted b ->
+      check_true "no contraction across undecided guard"
+        (Interval.equal (Box.get b "x") (iv 0.0 1.0))
+
+let test_soundness_random =
+  qcheck "taylor contraction never loses solutions"
+    QCheck2.Gen.(tup3 expr_gen (float_range 0.0 1.0) (float_range 0.0 1.0))
+    (fun (e, px, py) ->
+      let atom = Form.le e in
+      let prep = Taylor.prepare atom in
+      let unit_box = box2 (0.0, 1.0) (0.0, 1.0) in
+      let point = [ ("x", px); ("y", py) ] in
+      (* certified premise, as in the HC4 soundness test *)
+      let env = List.map (fun (v, q) -> (v, Interval.point q)) point in
+      let i = Ieval.eval env e in
+      if (not (Interval.is_empty i)) && Interval.certainly_lt i 0.0 then
+        match Taylor.contract prep unit_box with
+        | Hc4.Infeasible -> false
+        | Hc4.Contracted b -> Box.mem point b
+      else true)
+
+let test_solver_integration () =
+  (* Via the ICP pipeline: proving x - x^2 <= 0.26 valid on [0,1]
+     (max of x - x^2 is 0.25; the 0.01 margin keeps the problem out of the
+     delta-sat regime). Plain interval arithmetic needs splitting; with the
+     MVF stage the budget shrinks. *)
+  let f = sub (sub x (sqr x)) (const 0.26) in
+  let atom = Form.gt f in
+  (* not psi *)
+  let prep = Taylor.prepare atom in
+  let b = Box.make [ ("x", iv 0.0 1.0) ] in
+  let cfg =
+    { Icp.default_config with fuel = 10_000; delta = 1e-4; sample_check = false }
+  in
+  let v_plain, s_plain = Icp.solve cfg b [ atom ] in
+  let v_taylor, s_taylor =
+    Icp.solve ~contractors:[ Taylor.contractor prep ] cfg b [ atom ]
+  in
+  check_true "both unsat"
+    (v_plain = Icp.Unsat && v_taylor = Icp.Unsat);
+  check_true
+    (Printf.sprintf "taylor needs fewer expansions (%d vs %d)"
+       s_taylor.Icp.expansions s_plain.Icp.expansions)
+    (s_taylor.Icp.expansions <= s_plain.Icp.expansions)
+
+let test_verify_integration () =
+  (* End to end through Algorithm 1 on a real pair. *)
+  let config =
+    {
+      Verify.threshold = 0.7;
+      solver =
+        { Icp.default_config with fuel = 200; delta = 1e-3; contractor_rounds = 2 };
+      deadline_seconds = Some 20.0;
+      workers = 1;
+      use_taylor = true;
+    }
+  in
+  match Xcverifier.verify ~config ~dfa:"pbe" ~condition:"ec1" () with
+  | Some o ->
+      check_true "still classified correctly (OK or OK*)"
+        (match Outcome.classify o with
+        | Outcome.Full_verified | Outcome.Partial_verified -> true
+        | _ -> false)
+  | None -> Alcotest.fail "applicable"
+
+let suite =
+  [
+    case "enclosure tightens on small boxes" test_enclosure_tightens;
+    test_enclosure_contains_samples;
+    case "proves infeasibility" test_contract_infeasible;
+    case "newton-like contraction" test_contract_newton_step;
+    case "degrades at undecided piecewise guards" test_piecewise_degrades;
+    test_soundness_random;
+    case "icp pipeline integration" test_solver_integration;
+    case "verify integration (PBE EC1)" test_verify_integration;
+  ]

@@ -1,0 +1,141 @@
+open Testutil
+
+let fast_config =
+  {
+    Verify.threshold = 0.7;
+    solver =
+      { Icp.default_config with fuel = 400; delta = 1e-3; contractor_rounds = 2 };
+    deadline_seconds = Some 20.0;
+    workers = 1;
+    use_taylor = false;
+  }
+
+let run name cond = Xcverifier.verify ~config:fast_config ~dfa:name ~condition:cond ()
+
+let test_vwn_ec1_verifies () =
+  match run "vwn_rpa" "ec1" with
+  | Some o ->
+      check_true "fully verified" (Outcome.classify o = Outcome.Full_verified);
+      let c = Outcome.coverage o in
+      check_close "100% verified" 1.0 c.Outcome.verified
+  | None -> Alcotest.fail "applicable"
+
+let test_lyp_ec1_refuted () =
+  match run "lyp" "ec1" with
+  | Some o -> (
+      check_true "refuted" (Outcome.classify o = Outcome.Refuted);
+      match Outcome.first_counterexample o with
+      | Some model ->
+          (* the model must really violate the condition *)
+          let atom =
+            Option.get
+              (Conditions.local_condition Conditions.Ec1 (Registry.find "lyp"))
+          in
+          check_false "model violates psi" (Form.holds_at model atom);
+          (* and lie in the known violation region: high s *)
+          check_true "violation at high s"
+            (List.assoc Dft_vars.s_name model > 1.0)
+      | None -> Alcotest.fail "must report a counterexample")
+  | None -> Alcotest.fail "applicable"
+
+let test_pbe_ec5_full () =
+  match run "pbe" "ec5" with
+  | Some o ->
+      check_true "LO extension fully verified (paper: full check)"
+        (Outcome.classify o = Outcome.Full_verified)
+  | None -> Alcotest.fail "applicable"
+
+let test_inapplicable () =
+  Alcotest.(check (option reject)) "LYP has no LO bound" None (run "lyp" "ec4")
+
+let test_outcome_bookkeeping () =
+  match run "pbe" "ec7" with
+  | Some o ->
+      check_true "solver calls counted" (o.Outcome.solver_calls > 0);
+      check_true "expansions counted"
+        (o.Outcome.total_expansions >= o.Outcome.solver_calls);
+      check_true "elapsed nonneg" (o.Outcome.elapsed >= 0.0);
+      check_true "regions recorded" (o.Outcome.regions <> []);
+      (* every region box must be inside the domain *)
+      List.iter
+        (fun (r : Outcome.region) ->
+          List.iter
+            (fun v ->
+              check_true "region inside domain"
+                (Interval.subset (Box.get r.Outcome.box v)
+                   (Box.get o.Outcome.domain v)))
+            (Box.vars r.Outcome.box))
+        o.Outcome.regions
+  | None -> Alcotest.fail "applicable"
+
+let test_deadline_cutoff () =
+  (* A zero deadline must stop immediately, recording timeouts. *)
+  let config = { fast_config with deadline_seconds = Some 0.0 } in
+  match Xcverifier.verify ~config ~dfa:"pbe" ~condition:"ec2" () with
+  | Some o ->
+      let c = Outcome.coverage o in
+      check_true "nothing verified under zero budget" (c.Outcome.verified = 0.0);
+      check_true "classified unknown" (Outcome.classify o = Outcome.Unknown)
+  | None -> Alcotest.fail "applicable"
+
+let test_threshold_controls_depth () =
+  let coarse = { fast_config with threshold = 3.0 } in
+  match Xcverifier.verify ~config:coarse ~dfa:"lyp" ~condition:"ec1" () with
+  | Some o ->
+      List.iter
+        (fun (r : Outcome.region) ->
+          check_true "no region below threshold depth"
+            (r.Outcome.depth <= 2))
+        o.Outcome.regions
+  | None -> Alcotest.fail "applicable"
+
+let test_rasterize () =
+  match run "lyp" "ec1" with
+  | Some o ->
+      let grid =
+        Outcome.rasterize o ~xdim:Dft_vars.rs_name ~ydim:Dft_vars.s_name
+          ~nx:16 ~ny:16
+      in
+      Alcotest.(check int) "rows" 16 (Array.length grid);
+      (* bottom rows (small s) verified, top rows violated *)
+      let statuses_bottom = grid.(0) and statuses_top = grid.(15) in
+      check_true "bottom has verified cells"
+        (Array.exists (fun s -> s = Outcome.Verified) statuses_bottom);
+      check_true "top has counterexample cells"
+        (Array.exists
+           (fun s -> match s with Outcome.Counterexample _ -> true | _ -> false)
+           statuses_top)
+  | None -> Alcotest.fail "applicable"
+
+let test_render_smoke () =
+  match run "lyp" "ec1" with
+  | Some o ->
+      let map = Render.outcome_map ~nx:24 ~ny:8 o in
+      check_true "map mentions axes" (String.length map > 100);
+      check_true "contains counterexample glyph" (String.contains map '#');
+      check_true "contains verified glyph" (String.contains map '.')
+  | None -> Alcotest.fail "applicable"
+
+let test_classification_symbols () =
+  Alcotest.(check string) "full" "OK"
+    (Outcome.classification_symbol Outcome.Full_verified);
+  Alcotest.(check string) "partial" "OK*"
+    (Outcome.classification_symbol Outcome.Partial_verified);
+  Alcotest.(check string) "unknown" "?"
+    (Outcome.classification_symbol Outcome.Unknown);
+  Alcotest.(check string) "refuted" "X"
+    (Outcome.classification_symbol Outcome.Refuted)
+
+let suite =
+  [
+    case "VWN RPA EC1 fully verifies" test_vwn_ec1_verifies;
+    case "LYP EC1 refuted with valid model" test_lyp_ec1_refuted;
+    case "PBE EC5 fully verifies" test_pbe_ec5_full;
+    case "inapplicable pairs skipped" test_inapplicable;
+    case "outcome bookkeeping" test_outcome_bookkeeping;
+    case "deadline cutoff" test_deadline_cutoff;
+    case "threshold bounds depth" test_threshold_controls_depth;
+    case "rasterization" test_rasterize;
+    case "render smoke" test_render_smoke;
+    case "classification symbols" test_classification_symbols;
+  ]
