@@ -10,6 +10,7 @@
      dune exec bench/main.exe fig2          -- Figure 2 (LYP region maps)
      dune exec bench/main.exe boundaries    -- Sec. IV-B violation boundaries
      dune exec bench/main.exe ablation      -- Sec. VI-A + design ablations
+     dune exec bench/main.exe scheduler     -- worklist scaling + trace check
      dune exec bench/main.exe micro         -- Bechamel micro-benchmarks
 
    Environment knobs: XCV_BENCH_FUEL (solver fuel per call, default 300),
@@ -254,7 +255,7 @@ let ablation () =
           let c = Outcome.coverage o in
           Printf.printf "%-28s verified %5.1f%%  timeout %5.1f%%  (%d calls)\n"
             label (100. *. c.Outcome.verified) (100. *. c.Outcome.timeout)
-            o.Outcome.solver_calls
+            o.Outcome.stats.Outcome.solver_calls
       | None -> ())
     [
       ("no splitting (t = domain)", 5.0);
@@ -280,7 +281,8 @@ let ablation () =
             "contractor rounds = %d: verified %5.1f%%  timeout %5.1f%%  \
              (%d expansions, %.1fs)\n"
             rounds (100. *. c.Outcome.verified) (100. *. c.Outcome.timeout)
-            o.Outcome.total_expansions o.Outcome.elapsed
+            o.Outcome.stats.Outcome.total_expansions
+            o.Outcome.stats.Outcome.elapsed
       | None -> ())
     [ 0; 1; 2; 4 ];
   print_newline ();
@@ -401,7 +403,8 @@ let ablation_taylor () =
                 dfa cond use_taylor
                 (100. *. c.Outcome.verified)
                 (100. *. c.Outcome.timeout)
-                o.Outcome.total_expansions o.Outcome.elapsed
+                o.Outcome.stats.Outcome.total_expansions
+                o.Outcome.stats.Outcome.elapsed
           | None -> ())
         [ false; true ])
     [ ("pbe", "ec1"); ("pbe", "ec2") ];
@@ -411,6 +414,51 @@ let ablation_taylor () =
     \ derivative, so the contractor must evaluate interval *second*\n\
     \ derivatives; whether that pays for itself is budget-dependent and\n\
     \ measured standalone it does not.)"
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler: worklist scaling + trace telemetry consistency           *)
+(* ------------------------------------------------------------------ *)
+
+let scheduler () =
+  section "Worklist scheduler: PBE campaign at 1 vs default_workers domains";
+  let pbe = Registry.find "pbe" in
+  let time_campaign workers =
+    let config = { campaign_config with workers } in
+    let t0 = Unix.gettimeofday () in
+    let outcomes = Verify.campaign ~config [ pbe ] in
+    (outcomes, Unix.gettimeofday () -. t0)
+  in
+  let seq, t_seq = time_campaign 1 in
+  let workers = Pool.default_workers () in
+  let par, t_par = time_campaign workers in
+  Printf.printf "workers=1:  %.2fs over %d pairs\n" t_seq (List.length seq);
+  Printf.printf "workers=%d:  %.2fs over %d pairs  (speedup %.2fx)\n" workers
+    t_par (List.length par) (t_seq /. t_par);
+  List.iter2
+    (fun a b ->
+      let sym o = Outcome.classification_symbol (Outcome.classify o) in
+      Printf.printf "  %-6s %-4s: %-3s vs %-3s %s  (%d vs %d solver calls)\n"
+        a.Outcome.dfa a.Outcome.condition (sym a) (sym b)
+        (if sym a = sym b then "agree" else "DISAGREE")
+        a.Outcome.stats.Outcome.solver_calls b.Outcome.stats.Outcome.solver_calls)
+    seq par;
+  print_newline ();
+  (* telemetry consistency: the per-box solve events must account for every
+     unit of fuel the aggregate reports *)
+  let recorder = Trace.create () in
+  let config = { campaign_config with workers } in
+  (match Verify.run_pair ~config ~recorder pbe Conditions.Ec1 with
+  | None -> ()
+  | Some o ->
+      let events = Trace.events recorder in
+      let fuel = Trace.total_fuel events in
+      Printf.printf
+        "trace: %d events for pbe/ec1; solve fuel sum %d vs \
+         stats.total_expansions %d  (%s)\n"
+        (List.length events) fuel o.Outcome.stats.Outcome.total_expansions
+        (if fuel = o.Outcome.stats.Outcome.total_expansions then "consistent"
+         else "INCONSISTENT"));
+  print_newline ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -542,7 +590,7 @@ let () =
       ("table1", table1); ("table2", table2); ("fig1", fig1); ("fig2", fig2);
       ("boundaries", boundaries); ("ablation", ablation);
       ("taylor", ablation_taylor); ("extensions", extensions);
-      ("micro", micro);
+      ("scheduler", scheduler); ("micro", micro);
     ]
   in
   let args = Array.to_list Sys.argv |> List.tl in

@@ -58,12 +58,26 @@ let certify_arg =
   let doc = "Print an interval-certified counterexample certificate." in
   Arg.(value & flag & info [ "certify" ] ~doc)
 
-let config_of ?(use_taylor = false) fuel threshold delta deadline =
+let workers_arg =
+  let doc =
+    "Worker domains for the sub-box scheduler (0 = one per available core)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "workers" ] ~doc ~docv:"N")
+
+let trace_arg =
+  let doc =
+    "Write the per-box trace (split/contract/solve/verdict events with \
+     solver counters) as JSON to $(docv); use - for stdout."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+let config_of ?(use_taylor = false) ?(workers = 1) fuel threshold delta
+    deadline =
   {
     Verify.threshold;
     solver = { Icp.default_config with fuel; delta; contractor_rounds = 3 };
     deadline_seconds = deadline;
-    workers = 1;
+    workers = (if workers <= 0 then Pool.default_workers () else workers);
     use_taylor;
   }
 
@@ -142,19 +156,23 @@ let encode_cmd =
 (* ---- verify ---------------------------------------------------------- *)
 
 let verify_cmd =
-  let run dfa cond fuel threshold delta deadline map use_taylor certify =
+  let run dfa cond fuel threshold delta deadline map use_taylor certify
+      workers trace =
     match lookup_pair dfa cond with
     | Error e ->
         prerr_endline e;
         exit 2
     | Ok (f, c) -> (
-        let config = config_of ~use_taylor fuel threshold delta deadline in
+        let config =
+          config_of ~use_taylor ~workers fuel threshold delta deadline
+        in
         match Encoder.encode f c with
         | None ->
             Printf.printf "%s does not apply to %s\n" cond dfa;
             exit 1
         | Some problem ->
-            let o = Verify.run ~config problem in
+            let recorder = Option.map (fun _ -> Trace.create ()) trace in
+            let o = Verify.run ~config ?recorder problem in
             Format.printf "%a@." Outcome.pp_summary o;
             (match Outcome.first_counterexample o with
             | Some m ->
@@ -162,6 +180,24 @@ let verify_cmd =
                 List.iter (fun (v, x) -> Format.printf " %s=%.6g" v x) m;
                 Format.printf "@."
             | None -> ());
+            (match trace, recorder with
+            | Some path, Some r ->
+                let report = Serialize.trace_report o (Trace.events r) in
+                if path = "-" then print_endline report
+                else begin
+                  match open_out path with
+                  | exception Sys_error msg ->
+                      Printf.eprintf "cannot write trace: %s\n" msg;
+                      exit 2
+                  | oc ->
+                      Fun.protect
+                        ~finally:(fun () -> close_out oc)
+                        (fun () ->
+                          output_string oc report;
+                          output_char oc '\n');
+                      Printf.printf "trace written to %s\n" path
+                end
+            | _ -> ());
             if certify then begin
               let cert, dropped = Witness.extract problem o in
               Format.printf "%a" Witness.pp cert;
@@ -174,7 +210,8 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Run Algorithm 1 on one (DFA, condition) pair")
     Term.(
       const run $ dfa_arg $ condition_arg $ fuel_arg $ threshold_arg
-      $ delta_arg $ deadline_arg $ map_arg $ taylor_arg $ certify_arg)
+      $ delta_arg $ deadline_arg $ map_arg $ taylor_arg $ certify_arg
+      $ workers_arg $ trace_arg)
 
 (* ---- extra (extension conditions) ------------------------------------ *)
 

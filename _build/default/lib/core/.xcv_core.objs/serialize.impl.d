@@ -1,1 +1,1 @@
-lib/core/serialize.ml: Box Buffer Char Format Fun Interval List Outcome Parser Printf String
+lib/core/serialize.ml: Box Buffer Char Float Format Fun Interval List Outcome Parser Printf String Trace

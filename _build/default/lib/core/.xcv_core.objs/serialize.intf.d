@@ -1,1 +1,1 @@
-lib/core/serialize.mli: Outcome
+lib/core/serialize.mli: Outcome Trace

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Box Format Int List Mutex String

@@ -1,1 +1,1 @@
-lib/core/verify.ml: Box Conditions Encoder Eval Float Form Icp List Option Outcome Pool Registry Taylor Unix
+lib/core/verify.ml: Atomic Box Conditions Encoder Eval Float Form Fun Icp List Option Outcome Pool Registry Stdlib Taylor Trace Unix Worklist

@@ -1,1 +1,1 @@
-lib/core/verify.mli: Box Conditions Encoder Form Icp Outcome Registry
+lib/core/verify.mli: Box Conditions Encoder Form Icp Outcome Registry Trace

@@ -6,14 +6,29 @@ type status =
 
 type region = { box : Box.t; status : status; depth : int }
 
+type stats = {
+  solver_calls : int;
+  total_expansions : int;
+  total_prunes : int;
+  total_revise_calls : int;
+  elapsed : float;
+}
+
+let zero_stats =
+  {
+    solver_calls = 0;
+    total_expansions = 0;
+    total_prunes = 0;
+    total_revise_calls = 0;
+    elapsed = 0.0;
+  }
+
 type t = {
   dfa : string;
   condition : string;
   domain : Box.t;
   regions : region list;
-  solver_calls : int;
-  total_expansions : int;
-  elapsed : float;
+  stats : stats;
 }
 
 type classification = Full_verified | Partial_verified | Unknown | Refuted
@@ -120,5 +135,5 @@ let pp_summary ppf t =
     t.dfa t.condition
     (classification_symbol (classify t))
     (100. *. c.verified) (100. *. c.counterexample)
-    (100. *. c.inconclusive) (100. *. c.timeout) t.solver_calls
-    t.total_expansions t.elapsed
+    (100. *. c.inconclusive) (100. *. c.timeout) t.stats.solver_calls
+    t.stats.total_expansions t.stats.elapsed

@@ -16,14 +16,27 @@ type status =
 
 type region = { box : Box.t; status : status; depth : int }
 
+(** Aggregated solver telemetry for one (DFA, condition) pair: the sums of
+    the per-call {!Icp.stats} counters over every solver call the scheduler
+    made, plus the wall clock. When tracing is enabled, the per-box
+    {!Trace.Solve} fuel events sum to [total_expansions] exactly. *)
+type stats = {
+  solver_calls : int;
+  total_expansions : int;  (** summed solver fuel consumed *)
+  total_prunes : int;  (** boxes the solver discarded as infeasible *)
+  total_revise_calls : int;  (** HC4 revise invocations *)
+  elapsed : float;  (** wall-clock seconds *)
+}
+
+(** All counters zero — a convenience for hand-built outcomes in tests. *)
+val zero_stats : stats
+
 type t = {
   dfa : string;
   condition : string;
   domain : Box.t;
   regions : region list;  (** pre-order paint log *)
-  solver_calls : int;
-  total_expansions : int;  (** summed solver fuel consumed *)
-  elapsed : float;  (** wall-clock seconds *)
+  stats : stats;
 }
 
 (** Table I classification symbols. *)

@@ -1,6 +1,6 @@
 module S = Parser.Sexp
 
-let format_version = 1
+let format_version = 2
 
 let fail fmt = Format.kasprintf (fun s -> raise (Parser.Parse_error s)) fmt
 
@@ -122,9 +122,11 @@ let sexp_of_outcome (o : Outcome.t) =
       S.List
         [
           S.Atom "stats";
-          S.Atom (string_of_int o.Outcome.solver_calls);
-          S.Atom (string_of_int o.Outcome.total_expansions);
-          atom_of_float o.Outcome.elapsed;
+          S.Atom (string_of_int o.Outcome.stats.Outcome.solver_calls);
+          S.Atom (string_of_int o.Outcome.stats.Outcome.total_expansions);
+          S.Atom (string_of_int o.Outcome.stats.Outcome.total_prunes);
+          S.Atom (string_of_int o.Outcome.stats.Outcome.total_revise_calls);
+          atom_of_float o.Outcome.stats.Outcome.elapsed;
         ];
       S.List (S.Atom "regions" :: List.map sexp_of_region o.Outcome.regions);
     ]
@@ -136,7 +138,11 @@ let outcome_of_sexp = function
         S.List [ S.Atom "dfa"; S.Atom dfa ];
         S.List [ S.Atom "condition"; S.Atom condition ];
         domain;
-        S.List [ S.Atom "stats"; S.Atom calls; S.Atom expansions; elapsed ];
+        S.List
+          [
+            S.Atom "stats"; S.Atom calls; S.Atom expansions; S.Atom prunes;
+            S.Atom revise; elapsed;
+          ];
         S.List (S.Atom "regions" :: regions);
       ] ->
       if int_of_string version <> format_version then
@@ -146,9 +152,14 @@ let outcome_of_sexp = function
         condition = decode condition;
         domain = box_of_sexp domain;
         regions = List.map region_of_sexp regions;
-        solver_calls = int_of_string calls;
-        total_expansions = int_of_string expansions;
-        elapsed = float_of_atom elapsed;
+        stats =
+          {
+            Outcome.solver_calls = int_of_string calls;
+            total_expansions = int_of_string expansions;
+            total_prunes = int_of_string prunes;
+            total_revise_calls = int_of_string revise;
+            elapsed = float_of_atom elapsed;
+          };
       }
   | _ -> fail "malformed outcome"
 
@@ -185,3 +196,353 @@ let load path =
         | exception End_of_file -> List.rev acc
       in
       go [])
+
+(* ------------------------------------------------------------------ *)
+(* JSON — the trace export format. S-expressions stay the archival
+   format for outcomes; traces are meant for external tooling (jq,
+   plotting scripts), where JSON is the lingua franca. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* Shortest decimal that round-trips; integers without a fraction part
+     so counters read naturally. JSON has no NaN/infinity — encode them as
+     strings, which the parser maps back. *)
+  let number f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else
+      let short = Printf.sprintf "%.12g" f in
+      if float_of_string short = f then short else Printf.sprintf "%.17g" f
+
+  let rec print buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Num f ->
+        if Float.is_nan f then Buffer.add_string buf "\"nan\""
+        else if f = Float.infinity then Buffer.add_string buf "\"inf\""
+        else if f = Float.neg_infinity then Buffer.add_string buf "\"-inf\""
+        else Buffer.add_string buf (number f)
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | Arr items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            print buf item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\":";
+            print buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 1024 in
+    print buf j;
+    Buffer.contents buf
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if !pos >= n || s.[!pos] <> c then fail "JSON: expected %c at %d" c !pos;
+      advance ()
+    in
+    let literal lit v =
+      String.iter (fun c -> expect c) lit;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "JSON: unterminated string";
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            if !pos >= n then fail "JSON: dangling escape";
+            (match s.[!pos] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                if !pos + 4 >= n then fail "JSON: truncated \\u escape";
+                let code =
+                  int_of_string ("0x" ^ String.sub s (!pos + 1) 4)
+                in
+                pos := !pos + 4;
+                (* traces only ever escape control bytes *)
+                if code < 0x100 then Buffer.add_char buf (Char.chr code)
+                else fail "JSON: non-latin \\u escape unsupported"
+            | c -> fail "JSON: bad escape \\%c" c);
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let lexeme = String.sub s start (!pos - start) in
+      match float_of_string_opt lexeme with
+      | Some f -> f
+      | None -> fail "JSON: bad number %S" lexeme
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '"' -> (
+          let str = parse_string () in
+          (* the encodings of the three non-finite numbers *)
+          match str with
+          | "nan" -> Num Float.nan
+          | "inf" -> Num Float.infinity
+          | "-inf" -> Num Float.neg_infinity
+          | _ -> Str str)
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  Arr (List.rev (v :: acc))
+              | _ -> fail "JSON: expected , or ] at %d" !pos
+            in
+            items []
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else
+            let rec fields acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  fields ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "JSON: expected , or } at %d" !pos
+            in
+            fields []
+      | Some _ -> Num (parse_number ())
+      | None -> fail "JSON: unexpected end of input"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "JSON: trailing garbage at %d" !pos;
+    v
+
+  let member key = function
+    | Obj fields -> (
+        match List.assoc_opt key fields with
+        | Some v -> v
+        | None -> fail "JSON: missing field %S" key)
+    | _ -> fail "JSON: expected object for field %S" key
+
+  let to_float = function
+    | Num f -> f
+    | _ -> fail "JSON: expected number"
+
+  let to_int j =
+    let f = to_float j in
+    if Float.is_integer f then int_of_float f
+    else fail "JSON: expected integer, got %g" f
+
+  let to_str = function Str s -> s | _ -> fail "JSON: expected string"
+  let to_list = function Arr l -> l | _ -> fail "JSON: expected array"
+end
+
+let trace_format_version = 1
+
+let json_of_box box =
+  Json.Obj
+    (List.map
+       (fun v ->
+         let iv = Box.get box v in
+         (v, Json.Arr [ Json.Num (Interval.inf iv); Json.Num (Interval.sup iv) ]))
+       (Box.vars box))
+
+let box_of_json = function
+  | Json.Obj dims ->
+      Box.make
+        (List.map
+           (fun (v, bounds) ->
+             match bounds with
+             | Json.Arr [ lo; hi ] ->
+                 (v, Interval.make (Json.to_float lo) (Json.to_float hi))
+             | _ -> fail "JSON: malformed box dimension %S" v)
+           dims)
+  | _ -> fail "JSON: expected box object"
+
+let json_of_event (ev : Trace.event) =
+  let base =
+    [
+      ("path", Json.Arr (List.map (fun i -> Json.Num (float_of_int i)) ev.Trace.path));
+      ("depth", Json.Num (float_of_int ev.Trace.depth));
+      ("step", Json.Num (float_of_int ev.Trace.step));
+      ("box", json_of_box ev.Trace.box);
+      ("kind", Json.Str (Trace.kind_name ev.Trace.kind));
+    ]
+  in
+  let payload =
+    match ev.Trace.kind with
+    | Trace.Contract { revise_calls; sweeps } ->
+        [
+          ("revise_calls", Json.Num (float_of_int revise_calls));
+          ("sweeps", Json.Num (float_of_int sweeps));
+        ]
+    | Trace.Solve { fuel; prunes } ->
+        [
+          ("fuel", Json.Num (float_of_int fuel));
+          ("prunes", Json.Num (float_of_int prunes));
+        ]
+    | Trace.Verdict status -> [ ("status", Json.Str status) ]
+    | Trace.Split children -> [ ("children", Json.Num (float_of_int children)) ]
+  in
+  Json.Obj (base @ payload)
+
+let event_of_json j =
+  let kind =
+    match Json.to_str (Json.member "kind" j) with
+    | "contract" ->
+        Trace.Contract
+          {
+            revise_calls = Json.to_int (Json.member "revise_calls" j);
+            sweeps = Json.to_int (Json.member "sweeps" j);
+          }
+    | "solve" ->
+        Trace.Solve
+          {
+            fuel = Json.to_int (Json.member "fuel" j);
+            prunes = Json.to_int (Json.member "prunes" j);
+          }
+    | "verdict" -> Trace.Verdict (Json.to_str (Json.member "status" j))
+    | "split" -> Trace.Split (Json.to_int (Json.member "children" j))
+    | k -> fail "JSON: unknown event kind %S" k
+  in
+  {
+    Trace.path = List.map Json.to_int (Json.to_list (Json.member "path" j));
+    depth = Json.to_int (Json.member "depth" j);
+    step = Json.to_int (Json.member "step" j);
+    box = box_of_json (Json.member "box" j);
+    kind;
+  }
+
+let json_of_trace events =
+  Json.Obj
+    [
+      ("version", Json.Num (float_of_int trace_format_version));
+      ("events", Json.Arr (List.map json_of_event events));
+    ]
+
+let trace_of_json j =
+  let version = Json.to_int (Json.member "version" j) in
+  if version <> trace_format_version then
+    fail "unsupported trace format version %d" version;
+  List.map event_of_json (Json.to_list (Json.member "events" j))
+
+let trace_to_string events = Json.to_string (json_of_trace events)
+let trace_of_string s = trace_of_json (Json.of_string s)
+
+let trace_report (o : Outcome.t) events =
+  Json.to_string
+    (Json.Obj
+       [
+         ("dfa", Json.Str o.Outcome.dfa);
+         ("condition", Json.Str o.Outcome.condition);
+         ( "stats",
+           Json.Obj
+             [
+               ("solver_calls", Json.Num (float_of_int o.Outcome.stats.Outcome.solver_calls));
+               ( "total_expansions",
+                 Json.Num (float_of_int o.Outcome.stats.Outcome.total_expansions) );
+               ("total_prunes", Json.Num (float_of_int o.Outcome.stats.Outcome.total_prunes));
+               ( "total_revise_calls",
+                 Json.Num (float_of_int o.Outcome.stats.Outcome.total_revise_calls) );
+               ("elapsed", Json.Num o.Outcome.stats.Outcome.elapsed);
+             ] );
+         ("trace", json_of_trace events);
+       ])

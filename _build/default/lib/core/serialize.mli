@@ -22,3 +22,44 @@ val of_string : string -> Outcome.t
 val save : string -> Outcome.t list -> unit
 
 val load : string -> Outcome.t list
+
+(** {1 Trace JSON}
+
+    {!Trace} event logs are exported as JSON for external tooling (jq,
+    plotting scripts). Deterministic output: object fields are emitted in a
+    fixed order and numbers use the shortest round-tripping decimal, so the
+    trace of a deterministic run is byte-identical across runs — which is
+    what the golden-file test pins down. *)
+
+(** A minimal JSON document model, sufficient for traces. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+
+  (** @raise Parser.Parse_error on malformed input. *)
+  val of_string : string -> t
+end
+
+val trace_format_version : int
+
+val json_of_trace : Trace.event list -> Json.t
+val trace_of_json : Json.t -> Trace.event list
+
+(** [trace_to_string events] / [trace_of_string s] — the versioned JSON
+    round-trip of an event log. *)
+val trace_to_string : Trace.event list -> string
+
+val trace_of_string : string -> Trace.event list
+
+(** [trace_report outcome events] — the [--trace] payload: the pair's
+    labels and aggregated {!Outcome.stats} alongside the full event log.
+    The report's [stats.total_expansions] equals the sum of the [fuel]
+    fields of its [solve] events. *)
+val trace_report : Outcome.t -> Trace.event list -> string

@@ -1,0 +1,57 @@
+type kind =
+  | Contract of { revise_calls : int; sweeps : int }
+  | Solve of { fuel : int; prunes : int }
+  | Verdict of string
+  | Split of int
+
+type event = { path : int list; depth : int; step : int; box : Box.t; kind : kind }
+
+type t = { lock : Mutex.t; mutable events : event list }
+
+let create () = { lock = Mutex.create (); events = [] }
+
+let record r ev =
+  Mutex.lock r.lock;
+  r.events <- ev :: r.events;
+  Mutex.unlock r.lock
+
+let rec compare_path a b =
+  match a, b with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs, y :: ys -> (
+      match Int.compare x y with 0 -> compare_path xs ys | c -> c)
+
+let compare_event a b =
+  match compare_path a.path b.path with
+  | 0 -> Int.compare a.step b.step
+  | c -> c
+
+let events r =
+  Mutex.lock r.lock;
+  let evs = r.events in
+  Mutex.unlock r.lock;
+  List.sort compare_event evs
+
+let total_fuel evs =
+  List.fold_left
+    (fun acc ev -> match ev.kind with Solve { fuel; _ } -> acc + fuel | _ -> acc)
+    0 evs
+
+let kind_name = function
+  | Contract _ -> "contract"
+  | Solve _ -> "solve"
+  | Verdict _ -> "verdict"
+  | Split _ -> "split"
+
+let pp_event ppf ev =
+  Format.fprintf ppf "[%s] depth %d %s"
+    (String.concat "." (List.map string_of_int ev.path))
+    ev.depth (kind_name ev.kind);
+  match ev.kind with
+  | Contract { revise_calls; sweeps } ->
+      Format.fprintf ppf " revise=%d sweeps=%d" revise_calls sweeps
+  | Solve { fuel; prunes } -> Format.fprintf ppf " fuel=%d prunes=%d" fuel prunes
+  | Verdict s -> Format.fprintf ppf " %s" s
+  | Split n -> Format.fprintf ppf " children=%d" n

@@ -31,8 +31,31 @@ let quick_config =
    not psi. *)
 let valid_model negated model = Form.all_hold_at model negated
 
-let run_custom ?(config = default_config) ~dfa_label ~condition_label ~domain
-    ~(psi : Form.atom) () =
+(* A scheduler task: one box of the splitting tree. [path] is the sequence
+   of child indices from the root; it makes the paint log's pre-order
+   reconstructible after out-of-order parallel execution. [width] and
+   [margin] are cached at task creation so the heap comparator never
+   touches the box or the expression. *)
+type task = {
+  box : Box.t;
+  depth : int;
+  path : int list;
+  width : float;
+  margin : float;
+}
+
+(* Widest-box-first; among boxes of equal width (siblings of one splitting
+   generation), most-violating-first — the worklist generalization of the
+   old recursion's violation-first child ordering, and what still reaches
+   small counterexample pockets (e.g. the LYP T_c-bound corner at rs > 4.8,
+   s > 2.4) long before the deadline. *)
+let schedule_order a b =
+  match Float.compare b.width a.width with
+  | 0 -> Float.compare a.margin b.margin
+  | c -> c
+
+let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
+    ~domain ~(psi : Form.atom) () =
   let negated = [ Form.negate_atom psi ] in
   let contractors =
     if config.use_taylor then
@@ -48,73 +71,136 @@ let run_custom ?(config = default_config) ~dfa_label ~condition_label ~domain
     | Some d -> Unix.gettimeofday () > d
     | None -> false
   in
-  let solver_calls = ref 0 and total_expansions = ref 0 in
-  (* Returns the pre-order paint log of the subtree rooted at [box]. *)
-  let rec go box depth =
-    if Box.max_width box < config.threshold then []
-    else if past_deadline () then
-      [ { Outcome.box; status = Outcome.Timeout; depth } ]
+  let solver_calls = Atomic.make 0
+  and total_expansions = Atomic.make 0
+  and total_prunes = Atomic.make 0
+  and total_revise_calls = Atomic.make 0 in
+  let record path depth box step kind =
+    match recorder with
+    | Some r -> Trace.record r { Trace.path; depth; step; box; kind }
+    | None -> ()
+  in
+  (* Midpoint margin towards satisfying (not psi): smaller = more violating.
+     Pure search heuristic — evaluation only, no expression construction,
+     so it is safe on worker domains. *)
+  let margin box =
+    match negated with
+    | [ a ] ->
+        let v = Eval.eval (Box.midpoint box) a.Form.expr in
+        if Float.is_nan v then Float.infinity
+        else (
+          match a.Form.rel with
+          | Form.Ge0 | Form.Gt0 -> -.v
+          | Form.Le0 | Form.Lt0 | Form.Eq0 -> v)
+    | _ -> 0.0
+  in
+  let children t =
+    let boxes = Box.split_all t.box in
+    let boxes =
+      List.stable_sort
+        (fun (_, m1) (_, m2) -> Float.compare m1 m2)
+        (List.map (fun b -> (b, margin b)) boxes)
+    in
+    record t.path t.depth t.box 3 (Trace.Split (List.length boxes));
+    List.mapi
+      (fun i (b, m) ->
+        {
+          box = b;
+          depth = t.depth + 1;
+          path = t.path @ [ i ];
+          width = Box.max_width b;
+          margin = m;
+        })
+      boxes
+  in
+  (* Handle one box: solve, paint, and split when unresolved. Runs on
+     worker domains; everything here is construction-free (the formula and
+     contractors were built above, on the calling domain). *)
+  let handle t =
+    if t.width < config.threshold then (None, [])
     else begin
-      incr solver_calls;
-      let verdict, stats = Icp.solve ~contractors config.solver box negated in
-      total_expansions := !total_expansions + stats.Icp.expansions;
+      Atomic.incr solver_calls;
+      let verdict, stats = Icp.solve ~contractors config.solver t.box negated in
+      ignore (Atomic.fetch_and_add total_expansions stats.Icp.expansions);
+      ignore (Atomic.fetch_and_add total_prunes stats.Icp.prunes);
+      ignore (Atomic.fetch_and_add total_revise_calls stats.Icp.revise_calls);
+      record t.path t.depth t.box 0
+        (Trace.Contract
+           { revise_calls = stats.Icp.revise_calls; sweeps = stats.Icp.sweeps });
+      record t.path t.depth t.box 1
+        (Trace.Solve { fuel = stats.Icp.expansions; prunes = stats.Icp.prunes });
+      let region status subtasks =
+        record t.path t.depth t.box 2 (Trace.Verdict (Outcome.status_name status));
+        ( Some (t.path, { Outcome.box = t.box; status; depth = t.depth }),
+          subtasks )
+      in
       match verdict with
-      | Icp.Unsat -> [ { Outcome.box; status = Outcome.Verified; depth } ]
+      | Icp.Unsat -> region Outcome.Verified []
       | Icp.Sat { model; _ } ->
           let status =
             if valid_model negated model then Outcome.Counterexample model
             else Outcome.Inconclusive model
           in
-          { Outcome.box; status; depth } :: recurse box depth
-      | Icp.Timeout ->
-          { Outcome.box; status = Outcome.Timeout; depth } :: recurse box depth
+          region status (children t)
+      | Icp.Timeout -> region Outcome.Timeout (children t)
     end
-  and recurse box depth =
-    let children = Box.split_all box in
-    (* Violation-first ordering: visit children whose midpoint comes closest
-       to satisfying (not psi) first. Pure search heuristic — every child is
-       still visited — but it reaches small counterexample pockets (e.g. the
-       LYP T_c-bound corner at rs > 4.8, s > 2.4) long before the deadline. *)
-    let children =
-      let margin c =
-        (* negated is a single atom "expr rel 0" with rel in {Lt0, Gt0};
-           smaller psi-margin = more violating. *)
-        match negated with
-        | [ a ] ->
-            let v = Eval.eval (Box.midpoint c) a.Form.expr in
-            if Float.is_nan v then Float.infinity
-            else (
-              match a.Form.rel with
-              | Form.Ge0 | Form.Gt0 -> -.v
-              | Form.Le0 | Form.Lt0 | Form.Eq0 -> v)
-        | _ -> 0.0
-      in
-      List.stable_sort
-        (fun c1 c2 -> Float.compare (margin c1) (margin c2))
-        children
-    in
-    if depth = 0 && config.workers > 1 then
-      List.concat (Pool.map ~workers:config.workers (fun c -> go c 1) children)
-    else List.concat_map (fun c -> go c (depth + 1)) children
   in
-  let regions = go domain 0 in
+  let root =
+    {
+      box = domain;
+      depth = 0;
+      path = [];
+      width = Box.max_width domain;
+      margin = 0.0;
+    }
+  in
+  let { Worklist.results; dropped } =
+    Worklist.process ~workers:(Stdlib.max 1 config.workers)
+      ~compare:schedule_order ~stop:past_deadline ~handle [ root ]
+  in
+  (* Graceful drain: boxes still pending at the deadline are painted as
+     timeouts (the old recursion's behaviour for boxes it reached after the
+     deadline), except sub-threshold boxes, which would not have been
+     solved anyway. *)
+  let drained =
+    List.filter_map
+      (fun t ->
+        if t.width < config.threshold then None
+        else
+          Some (t.path, { Outcome.box = t.box; status = Outcome.Timeout;
+                          depth = t.depth }))
+      dropped
+  in
+  (* Restore the pre-order paint log: parents (shorter paths) before
+     children, siblings in violation-first order — identical to the old
+     depth-first recursion's log, and identical at every worker count. *)
+  let regions =
+    List.filter_map Fun.id results @ drained
+    |> List.sort (fun (p1, _) (p2, _) -> Trace.compare_path p1 p2)
+    |> List.map snd
+  in
   {
     Outcome.dfa = dfa_label;
     condition = condition_label;
     domain;
     regions;
-    solver_calls = !solver_calls;
-    total_expansions = !total_expansions;
-    elapsed = Unix.gettimeofday () -. started;
+    stats =
+      {
+        Outcome.solver_calls = Atomic.get solver_calls;
+        total_expansions = Atomic.get total_expansions;
+        total_prunes = Atomic.get total_prunes;
+        total_revise_calls = Atomic.get total_revise_calls;
+        elapsed = Unix.gettimeofday () -. started;
+      };
   }
 
-let run ?config (p : Encoder.problem) =
-  run_custom ?config ~dfa_label:p.Encoder.dfa.Registry.label
+let run ?config ?recorder (p : Encoder.problem) =
+  run_custom ?config ?recorder ~dfa_label:p.Encoder.dfa.Registry.label
     ~condition_label:(Conditions.name p.Encoder.condition)
     ~domain:p.Encoder.domain ~psi:p.Encoder.psi ()
 
-let run_pair ?config dfa cond =
-  Option.map (run ?config) (Encoder.encode dfa cond)
+let run_pair ?config ?recorder dfa cond =
+  Option.map (run ?config ?recorder) (Encoder.encode dfa cond)
 
 let campaign ?config dfas =
   List.concat_map

@@ -1,29 +1,41 @@
-(** Algorithm 1 of the paper: recursive domain-splitting verification.
+(** Algorithm 1 of the paper on a deadline-aware priority worklist.
 
     For a box [D] and encoded condition [psi]:
 
-    + if [max_width D < t] — below the splitting threshold — return;
-    + run the δ-complete solver on [D /\ not psi];
-    + UNSAT: record [D] as {e verified} and return;
+    + if [max_width D < t] — below the splitting threshold — the box is
+      discarded;
+    + otherwise the δ-complete solver runs on [D /\ not psi];
+    + UNSAT: [D] is painted {e verified} and closed;
     + SAT with model [x]: re-check [x] in float arithmetic ([valid(x)]);
-      record a {e counterexample} (valid) or {e inconclusive} (spurious
-      δ-sat model);
-    + timeout: record a {e timeout};
-    + in the SAT and timeout cases, split every dimension of [D] in two and
-      recurse on each child, isolating the violating subregions.
+      paint a {e counterexample} (valid) or {e inconclusive} (spurious
+      δ-sat model), then split;
+    + timeout: paint a {e timeout}, then split;
+    + splitting halves every dimension of [D]; the children are re-queued
+      rather than recursed into.
+
+    The queue is a priority worklist ({!Worklist}): widest box first, and
+    among equal widths most-violating first (midpoint margin), so the search
+    sharpens the region map breadth-first and reaches violation pockets
+    early. Sub-box tasks are executed by [config.workers] OCaml domains;
+    all formulas and contractors are built on the calling domain before the
+    fan-out (expression hash-consing is not thread-safe), workers only
+    evaluate. The painted log is re-sorted by box path afterwards, so
+    outcomes are {e identical at every worker count}, including the
+    pre-order parent-before-children property rasterization relies on.
 
     Differences from the paper's setup, by necessity of substrate: the
     per-call two-hour dReal limit becomes a deterministic fuel budget
-    ([solver.fuel] box expansions per call), and an optional global
-    wall-clock deadline stops the recursion early (remaining boxes are
-    recorded as timeouts). *)
+    ([solver.fuel] box expansions per call), and the optional global
+    wall-clock deadline drains the worklist gracefully — boxes still
+    pending (at or above the threshold) are painted as timeouts rather
+    than dropped silently. *)
 
 type config = {
   threshold : float;  (** the paper's [t]; default 0.05 *)
   solver : Icp.config;
   deadline_seconds : float option;
       (** global wall budget for one (DFA, condition) pair *)
-  workers : int;  (** parallel workers for the top-level split *)
+  workers : int;  (** OCaml domains executing sub-box solver calls *)
   use_taylor : bool;
       (** add the mean-value-form contractor ({!Taylor}) to the solver's
           contraction pipeline; helps on smooth conditions once boxes are
@@ -36,8 +48,9 @@ val default_config : config
 val quick_config : config
 
 (** [run ~config problem] executes Algorithm 1 and returns the full outcome
-    (paint log + statistics). *)
-val run : ?config:config -> Encoder.problem -> Outcome.t
+    (paint log + aggregated {!Outcome.stats}). [recorder], when given,
+    collects the per-box {!Trace} events of the run. *)
+val run : ?config:config -> ?recorder:Trace.t -> Encoder.problem -> Outcome.t
 
 (** [run_custom ~dfa_label ~condition_label ~domain ~psi ()] runs
     Algorithm 1 on an arbitrary local condition [psi] (an [expr >= 0]-style
@@ -45,21 +58,25 @@ val run : ?config:config -> Encoder.problem -> Outcome.t
     registry pipeline, e.g. spin-resolved slices or user-supplied
     inequalities from the CLI. Labels are only used in the outcome record. *)
 val run_custom :
-  ?config:config -> dfa_label:string -> condition_label:string ->
-  domain:Box.t -> psi:Form.atom -> unit -> Outcome.t
+  ?config:config -> ?recorder:Trace.t -> dfa_label:string ->
+  condition_label:string -> domain:Box.t -> psi:Form.atom -> unit -> Outcome.t
 
 (** [run_pair ~config dfa cond] encodes and runs; [None] if the condition
     does not apply. *)
 val run_pair :
-  ?config:config -> Registry.t -> Conditions.id -> Outcome.t option
+  ?config:config -> ?recorder:Trace.t -> Registry.t -> Conditions.id ->
+  Outcome.t option
 
 (** [campaign ~config dfas] runs every applicable pair (Table I's rows x
-    columns), sequentially per pair. *)
+    columns), sequentially per pair (each pair still uses
+    [config.workers] domains internally). *)
 val campaign : ?config:config -> Registry.t list -> Outcome.t list
 
 (** [campaign_parallel ~config ~workers dfas] — as {!campaign}, but fanned
-    out over a {!Pool} of domains. All formulas are encoded on the calling
-    domain first (expression hash-consing is not thread-safe); the solver
-    itself never builds expressions, so the parallel runs are safe. *)
+    out over a {!Pool} of domains at pair granularity. All formulas are
+    encoded on the calling domain first (expression hash-consing is not
+    thread-safe); the solver itself never builds expressions, so the
+    parallel runs are safe. Prefer per-pair workers ([config.workers]) for
+    few long pairs, this for many short ones. *)
 val campaign_parallel :
   ?config:config -> workers:int -> Registry.t list -> Outcome.t list

@@ -1,0 +1,1 @@
+lib/parallel/worklist.ml: Array Condition Domain List Mutex Stdlib

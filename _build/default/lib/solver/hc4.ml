@@ -2,6 +2,10 @@ open Expr
 
 type result = Contracted of Box.t | Infeasible
 
+type counters = { mutable revise_calls : int; mutable sweeps : int }
+
+let counters () = { revise_calls = 0; sweeps = 0 }
+
 let target_of_relation = function
   | Form.Le0 | Form.Lt0 -> Interval.make Float.neg_infinity 0.0
   | Form.Ge0 | Form.Gt0 -> Interval.make 0.0 Float.infinity
@@ -250,13 +254,21 @@ let improvement before after =
   done;
   !best
 
-let contract box formula ~rounds =
+let contract ?counters:cnt box formula ~rounds =
+  let count_revise () =
+    match cnt with Some c -> c.revise_calls <- c.revise_calls + 1 | None -> ()
+  in
+  let count_sweep () =
+    match cnt with Some c -> c.sweeps <- c.sweeps + 1 | None -> ()
+  in
   let rec sweep box k =
     if k >= rounds then Contracted box
     else begin
+      count_sweep ();
       let rec apply box = function
         | [] -> Contracted box
         | a :: rest -> (
+            count_revise ();
             match revise box a with
             | Infeasible -> Infeasible
             | Contracted box' -> apply box' rest)

@@ -19,10 +19,20 @@
 
 type result = Contracted of Box.t | Infeasible
 
+(** Telemetry cell for the contraction pipeline: how many {!revise} calls
+    and full sweeps a caller (usually one {!Icp.solve}) consumed. The
+    solver threads one of these per call and reports the totals in
+    {!Icp.stats}; the verifier aggregates them per (DFA, condition) pair. *)
+type counters = { mutable revise_calls : int; mutable sweeps : int }
+
+(** A fresh zeroed cell. *)
+val counters : unit -> counters
+
 (** [revise box atom] contracts [box] with one atom. *)
 val revise : Box.t -> Form.atom -> result
 
-(** [contract box formula ~rounds] applies {!revise} for every atom of the
-    conjunction repeatedly, up to [rounds] sweeps or until a sweep improves
-    no dimension by more than 1%. *)
-val contract : Box.t -> Form.t -> rounds:int -> result
+(** [contract ?counters box formula ~rounds] applies {!revise} for every
+    atom of the conjunction repeatedly, up to [rounds] sweeps or until a
+    sweep improves no dimension by more than 1%. When [counters] is given,
+    revise calls and sweeps are accumulated into it. *)
+val contract : ?counters:counters -> Box.t -> Form.t -> rounds:int -> result

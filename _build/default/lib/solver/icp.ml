@@ -3,7 +3,13 @@ type verdict =
   | Sat of { model : (string * float) list; certified : bool }
   | Timeout
 
-type stats = { expansions : int; prunes : int; max_depth : int }
+type stats = {
+  expansions : int;
+  prunes : int;
+  max_depth : int;
+  revise_calls : int;
+  sweeps : int;
+}
 
 type config = {
   delta : float;
@@ -17,8 +23,15 @@ let default_config =
 
 let solve ?(contractors = []) cfg box formula =
   let expansions = ref 0 and prunes = ref 0 and max_depth = ref 0 in
+  let hc4 = Hc4.counters () in
   let stats () =
-    { expansions = !expansions; prunes = !prunes; max_depth = !max_depth }
+    {
+      expansions = !expansions;
+      prunes = !prunes;
+      max_depth = !max_depth;
+      revise_calls = hc4.Hc4.revise_calls;
+      sweeps = hc4.Hc4.sweeps;
+    }
   in
   (* Worklist of (box, depth), depth-first. *)
   let rec loop = function
@@ -29,7 +42,10 @@ let solve ?(contractors = []) cfg box formula =
           incr expansions;
           if depth > !max_depth then max_depth := depth;
           let contracted =
-            match Hc4.contract box formula ~rounds:cfg.contractor_rounds with
+            match
+              Hc4.contract ~counters:hc4 box formula
+                ~rounds:cfg.contractor_rounds
+            with
             | Hc4.Infeasible -> Hc4.Infeasible
             | Hc4.Contracted box ->
                 (* extra pipeline stages (e.g. the mean-value-form

@@ -28,9 +28,11 @@ type verdict =
   | Timeout
 
 type stats = {
-  expansions : int;  (** boxes taken off the worklist *)
+  expansions : int;  (** boxes taken off the worklist — the fuel spent *)
   prunes : int;  (** boxes discarded as infeasible by contraction *)
   max_depth : int;  (** deepest bisection level reached *)
+  revise_calls : int;  (** HC4 revise invocations (see {!Hc4.counters}) *)
+  sweeps : int;  (** HC4 contraction sweeps *)
 }
 
 type config = {

@@ -1,0 +1,1 @@
+test/test_mutate.ml: Alcotest Box Conditions Dft_vars Encoder Icp Interval Mutate Outcome Printf Registry Testutil Verify

@@ -1,1 +1,1 @@
-test/test_parallel.ml: Alcotest Atomic Box Expr Form Fun Icp Interval List Pool Testutil
+test/test_parallel.ml: Alcotest Atomic Box Expr Form Fun Icp Int Interval List Outcome Pool Printf QCheck2 String Testutil Verify Worklist

@@ -1,0 +1,1 @@
+test/test_testutil.ml: Alcotest Float Printf Testutil

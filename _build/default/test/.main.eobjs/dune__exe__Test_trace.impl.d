@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Box Expr Form Fun Icp Interval List Outcome Printf Serialize String Sys Testutil Trace Verify

@@ -1,1 +1,1 @@
-test/testutil.ml: Alcotest Dft_vars Expr Float QCheck2 QCheck_alcotest String
+test/testutil.ml: Alcotest Dft_vars Expr Float Printf QCheck2 QCheck_alcotest String Sys

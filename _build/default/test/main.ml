@@ -1,6 +1,12 @@
 let () =
+  (* The dune runtest alias drives this binary twice, with XCV_TEST_WORKERS
+     set to 1 and 2, so every verifier-driving suite exercises both the
+     sequential and the parallel scheduler path (see Testutil.test_workers). *)
+  Printf.eprintf "[xcverifier tests] XCV_TEST_WORKERS=%d\n%!"
+    Testutil.test_workers;
   Alcotest.run "xcverifier"
     [
+      ("testutil", Test_testutil.suite);
       ("rat", Test_rat.suite);
       ("expr", Test_expr.suite);
       ("eval-compile-parse", Test_eval.suite);
@@ -20,5 +26,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("kohn-sham", Test_ks.suite);
       ("serialize", Test_serialize.suite);
+      ("trace", Test_trace.suite);
+      ("mutate", Test_mutate.suite);
       ("codegen", Test_codegen.suite);
     ]

@@ -62,6 +62,128 @@ let test_solver_calls_in_parallel () =
       Alcotest.(check int) "same verdict" (tag a) (tag b))
     seq par
 
+(* ---- worklist scheduler -------------------------------------------- *)
+
+let test_worklist_priority_order () =
+  (* With one worker and tasks that spawn nothing, execution follows the
+     comparator exactly: smallest first. *)
+  let order = ref [] in
+  let { Worklist.results; dropped } =
+    Worklist.process ~workers:1 ~compare:Int.compare
+      ~handle:(fun x ->
+        order := x :: !order;
+        (Some x, []))
+      [ 5; 1; 4; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "comparator order" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order);
+  Alcotest.(check int) "all processed" 5 (List.length results);
+  Alcotest.(check (list int)) "nothing dropped" [] dropped
+
+let test_worklist_spawns_children () =
+  (* Count the nodes of a depth-bounded binary tree via spawned subtasks. *)
+  let handle (depth, _id) =
+    if depth >= 4 then (Some 1, [])
+    else (Some 1, [ (depth + 1, 0); (depth + 1, 1) ])
+  in
+  List.iter
+    (fun workers ->
+      let { Worklist.results; dropped } =
+        Worklist.process ~workers ~compare:(fun a b -> compare a b) ~handle
+          [ (0, 0) ]
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "2^5 - 1 nodes at workers=%d" workers)
+        31
+        (List.length (List.filter_map Fun.id results));
+      Alcotest.(check int) "no drops" 0 (List.length dropped))
+    [ 1; 4 ]
+
+let test_worklist_stop_drains () =
+  (* A stop that trips after the third execution: the remaining initial
+     tasks must come back in [dropped], not vanish. *)
+  let executed = Atomic.make 0 in
+  let { Worklist.results; dropped } =
+    Worklist.process ~workers:1 ~compare:Int.compare
+      ~stop:(fun () -> Atomic.get executed >= 3)
+      ~handle:(fun x ->
+        Atomic.incr executed;
+        (Some x, []))
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  let done_ = List.filter_map Fun.id results in
+  Alcotest.(check int) "stopped after three" 3 (List.length done_);
+  Alcotest.(check (list int)) "rest drained in order" [ 4; 5; 6 ]
+    (List.sort Int.compare dropped)
+
+exception Kaboom
+
+let test_worklist_exception_propagation () =
+  Alcotest.check_raises "handler failure re-raised" Kaboom (fun () ->
+      ignore
+        (Worklist.process ~workers:4 ~compare:Int.compare
+           ~handle:(fun x -> if x = 17 then raise Kaboom else (Some x, []))
+           (List.init 64 Fun.id)))
+
+(* ---- worker-count equivalence (QCheck) ------------------------------ *)
+
+(* The scheduler's contract: the outcome is a pure function of the problem,
+   not of the worker count. The atom is built once here, on the main domain
+   (hash-consing is not thread-safe); the property then verifies random
+   boxes at workers=1 and workers=4 and demands identical paint logs. *)
+let circle_atom =
+  Form.ge
+    (Expr.sub
+       (Expr.add (Expr.sqr (Expr.var "x")) (Expr.sqr (Expr.var "y")))
+       (Expr.int 2))
+
+let equiv_config workers =
+  {
+    Verify.threshold = 0.4;
+    solver =
+      { Icp.default_config with fuel = 60; delta = 1e-2; contractor_rounds = 2 };
+    deadline_seconds = None;
+    workers;
+    use_taylor = false;
+  }
+
+let region_fingerprint (r : Outcome.region) =
+  let dims =
+    String.concat ";"
+      (List.map
+         (fun v ->
+           let iv = Box.get r.Outcome.box v in
+           Printf.sprintf "%s=[%h,%h]" v (Interval.inf iv) (Interval.sup iv))
+         (Box.vars r.Outcome.box))
+  in
+  Printf.sprintf "%d|%s|%s" r.Outcome.depth
+    (Outcome.status_name r.Outcome.status)
+    dims
+
+let small_box_gen =
+  QCheck2.Gen.(
+    let dim =
+      map2
+        (fun lo w -> Interval.make lo (lo +. w))
+        (float_range (-2.0) 1.0) (float_range 0.2 1.5)
+    in
+    map2 (fun ix iy -> Box.make [ ("x", ix); ("y", iy) ]) dim dim)
+
+let verdicts workers box =
+  let o =
+    Verify.run_custom ~config:(equiv_config workers) ~dfa_label:"prop"
+      ~condition_label:"circle" ~domain:box ~psi:circle_atom ()
+  in
+  List.map region_fingerprint o.Outcome.regions
+
+let worklist_equivalence =
+  qcheck ~count:40 "workers=1 and workers=4 paint identical logs"
+    small_box_gen (fun box ->
+      let seq = verdicts 1 box and par = verdicts 4 box in
+      List.sort String.compare seq = List.sort String.compare par
+      (* the path sort also makes the *order* deterministic *)
+      && seq = par)
+
 let suite =
   [
     case "sequential fallback" test_sequential_fallback;
@@ -72,4 +194,9 @@ let suite =
     case "iter side effects" test_iter_effects;
     case "default workers" test_default_workers;
     case "parallel solver calls" test_solver_calls_in_parallel;
+    case "worklist priority order" test_worklist_priority_order;
+    case "worklist spawns children" test_worklist_spawns_children;
+    case "worklist stop drains remainder" test_worklist_stop_drains;
+    case "worklist exception propagation" test_worklist_exception_propagation;
+    worklist_equivalence;
   ]

@@ -26,10 +26,16 @@ let check_roundtrip o =
   let o' = Serialize.of_string (Serialize.to_string o) in
   Alcotest.(check string) "dfa" o.Outcome.dfa o'.Outcome.dfa;
   Alcotest.(check string) "condition" o.Outcome.condition o'.Outcome.condition;
-  Alcotest.(check int) "calls" o.Outcome.solver_calls o'.Outcome.solver_calls;
-  Alcotest.(check int) "expansions" o.Outcome.total_expansions
-    o'.Outcome.total_expansions;
-  check_close "elapsed" o.Outcome.elapsed o'.Outcome.elapsed;
+  Alcotest.(check int) "calls" o.Outcome.stats.Outcome.solver_calls
+    o'.Outcome.stats.Outcome.solver_calls;
+  Alcotest.(check int) "expansions" o.Outcome.stats.Outcome.total_expansions
+    o'.Outcome.stats.Outcome.total_expansions;
+  Alcotest.(check int) "prunes" o.Outcome.stats.Outcome.total_prunes
+    o'.Outcome.stats.Outcome.total_prunes;
+  Alcotest.(check int) "revise calls" o.Outcome.stats.Outcome.total_revise_calls
+    o'.Outcome.stats.Outcome.total_revise_calls;
+  check_close "elapsed" o.Outcome.stats.Outcome.elapsed
+    o'.Outcome.stats.Outcome.elapsed;
   check_true "domain" (Box.equal o.Outcome.domain o'.Outcome.domain);
   Alcotest.(check int) "region count"
     (List.length o.Outcome.regions)

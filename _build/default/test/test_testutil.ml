@@ -1,0 +1,47 @@
+open Testutil
+
+(* The test helpers themselves: the NaN comparison semantics of
+   [close_result] regressed once (a NaN-vs-finite mismatch slipped through
+   the relative-tolerance branch with a misleading message), so pin the
+   contract down. *)
+
+let test_close_finite () =
+  check_true "equal" (close_result 1.0 1.0 = Ok ());
+  check_true "within tol" (close_result ~tol:1e-6 1.0 (1.0 +. 1e-9) = Ok ());
+  check_true "outside tol"
+    (match close_result ~tol:1e-12 1.0 1.1 with Error _ -> true | Ok () -> false)
+
+let test_close_nan_both () =
+  check_true "NaN agrees with NaN" (close_result Float.nan Float.nan = Ok ())
+
+let expect_error ~needle result =
+  match result with
+  | Ok () -> Alcotest.fail "NaN mismatch accepted"
+  | Error msg ->
+      check_true
+        (Printf.sprintf "message %S mentions %S" msg needle)
+        (contains_sub msg needle)
+
+let test_close_nan_mismatch () =
+  (* the regression: these must FAIL, with the NaN named explicitly *)
+  expect_error ~needle:"NaN" (close_result Float.nan 1.0);
+  expect_error ~needle:"NaN" (close_result 1.0 Float.nan);
+  expect_error ~needle:"NaN" (close_result ~tol:1e6 Float.nan 0.0)
+
+let test_check_close_raises_on_nan_mismatch () =
+  check_true "check_close propagates the failure"
+    (match check_close "nan-vs-finite" Float.nan 2.0 with
+    | () -> false
+    | exception _ -> true)
+
+let test_workers_knob () =
+  check_true "test_workers positive" (test_workers >= 1)
+
+let suite =
+  [
+    case "close_result on finite floats" test_close_finite;
+    case "close_result NaN = NaN" test_close_nan_both;
+    case "close_result NaN mismatch fails" test_close_nan_mismatch;
+    case "check_close raises on NaN mismatch" test_check_close_raises_on_nan_mismatch;
+    case "worker knob" test_workers_knob;
+  ]

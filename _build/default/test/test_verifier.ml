@@ -51,10 +51,11 @@ let test_inapplicable () =
 let test_outcome_bookkeeping () =
   match run "pbe" "ec7" with
   | Some o ->
-      check_true "solver calls counted" (o.Outcome.solver_calls > 0);
+      check_true "solver calls counted" (o.Outcome.stats.Outcome.solver_calls > 0);
       check_true "expansions counted"
-        (o.Outcome.total_expansions >= o.Outcome.solver_calls);
-      check_true "elapsed nonneg" (o.Outcome.elapsed >= 0.0);
+        (o.Outcome.stats.Outcome.total_expansions
+        >= o.Outcome.stats.Outcome.solver_calls);
+      check_true "elapsed nonneg" (o.Outcome.stats.Outcome.elapsed >= 0.0);
       check_true "regions recorded" (o.Outcome.regions <> []);
       (* every region box must be inside the domain *)
       List.iter

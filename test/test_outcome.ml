@@ -12,9 +12,7 @@ let mk_outcome regions =
     condition = "t";
     domain;
     regions;
-    solver_calls = List.length regions;
-    total_expansions = 0;
-    elapsed = 0.0;
+    stats = { Outcome.zero_stats with solver_calls = List.length regions };
   }
 
 let region ?(depth = 0) status box = { Outcome.box; status; depth }
@@ -121,9 +119,7 @@ let test_1d_outcome_render () =
             depth = 2;
           };
         ];
-      solver_calls = 2;
-      total_expansions = 0;
-      elapsed = 0.0;
+      stats = { Outcome.zero_stats with solver_calls = 2 };
     }
   in
   let map = Render.outcome_map ~nx:16 o in

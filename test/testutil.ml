@@ -1,14 +1,39 @@
 (* Shared helpers for the test suites. *)
 
-let check_close ?(tol = 1e-10) msg expected actual =
-  let ok =
-    (Float.is_nan expected && Float.is_nan actual)
-    || Float.abs (expected -. actual)
-       <= tol *. (1.0 +. Float.abs expected +. Float.abs actual)
-  in
-  if not ok then
-    Alcotest.failf "%s: expected %.17g, got %.17g (tol %.3g)" msg expected
-      actual tol
+(* NaN handling must be explicit: NaN == NaN is accepted (both sides agree
+   the value is undefined), but NaN on only one side is always a mismatch —
+   the relative-tolerance comparison would otherwise return false for it
+   silently, with a misleading message. *)
+let close_result ?(tol = 1e-10) expected actual =
+  match Float.is_nan expected, Float.is_nan actual with
+  | true, true -> Ok ()
+  | true, false ->
+      Error (Printf.sprintf "expected NaN, got finite %.17g" actual)
+  | false, true ->
+      Error (Printf.sprintf "expected %.17g, got NaN" expected)
+  | false, false ->
+      if
+        Float.abs (expected -. actual)
+        <= tol *. (1.0 +. Float.abs expected +. Float.abs actual)
+      then Ok ()
+      else
+        Error
+          (Printf.sprintf "expected %.17g, got %.17g (tol %.3g)" expected
+             actual tol)
+
+let check_close ?tol msg expected actual =
+  match close_result ?tol expected actual with
+  | Ok () -> ()
+  | Error detail -> Alcotest.failf "%s: %s" msg detail
+
+(* Worker-domain count for verifier-driving tests; set by the runtest
+   harness (test/dune runs the suite at 1 and 2) so every suite exercises
+   both the sequential and the parallel scheduler path. *)
+let test_workers =
+  match Sys.getenv_opt "XCV_TEST_WORKERS" with
+  | Some n -> (
+      match int_of_string_opt n with Some n when n > 0 -> n | _ -> 1)
+  | None -> 1
 
 let check_true msg b = Alcotest.(check bool) msg true b
 let check_false msg b = Alcotest.(check bool) msg false b
