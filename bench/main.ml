@@ -44,6 +44,7 @@ let campaign_config =
     deadline_seconds = Some bench_deadline;
     workers = 1;
     use_taylor = false;
+    retry = Verify.no_retry;
   }
 
 let section title =

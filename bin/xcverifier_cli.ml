@@ -10,6 +10,40 @@
 
 open Cmdliner
 
+(* ---- validated converters ------------------------------------------ *)
+(* Out-of-range numerics (zero fuel, negative thresholds, one-point grids)
+   would send the solver or the baseline into nonsense loops; reject them
+   at the argument parser with a proper Cmdliner error instead. *)
+
+let bounded_int ~what ~min =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= min -> Ok n
+    | Some n ->
+        Error (`Msg (Printf.sprintf "%s must be >= %d, got %d" what min n))
+    | None -> Error (`Msg (Printf.sprintf "invalid %s %S" what s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let positive_float ~what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f > 0.0 && Float.is_finite f -> Ok f
+    | Some f -> Error (`Msg (Printf.sprintf "%s must be > 0, got %g" what f))
+    | None -> Error (`Msg (Printf.sprintf "invalid %s %S" what s))
+  in
+  Arg.conv ~docv:"X" (parse, Format.pp_print_float)
+
+let probability ~what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f >= 0.0 && f <= 1.0 -> Ok f
+    | Some f ->
+        Error (`Msg (Printf.sprintf "%s must be in [0, 1], got %g" what f))
+    | None -> Error (`Msg (Printf.sprintf "invalid %s %S" what s))
+  in
+  Arg.conv ~docv:"P" (parse, Format.pp_print_float)
+
 (* ---- shared arguments ---------------------------------------------- *)
 
 let dfa_arg =
@@ -28,15 +62,18 @@ let condition_arg =
 
 let fuel_arg =
   let doc = "Solver fuel (box expansions) per dReal-style call." in
-  Arg.(value & opt int 600 & info [ "fuel" ] ~doc)
+  Arg.(value & opt (bounded_int ~what:"fuel" ~min:1) 600 & info [ "fuel" ] ~doc)
 
 let threshold_arg =
   let doc = "Domain-splitting threshold t of Algorithm 1." in
-  Arg.(value & opt float 0.05 & info [ "t"; "threshold" ] ~doc)
+  Arg.(
+    value
+    & opt (positive_float ~what:"threshold") 0.05
+    & info [ "t"; "threshold" ] ~doc)
 
 let delta_arg =
   let doc = "Delta of the delta-sat decision." in
-  Arg.(value & opt float 1e-4 & info [ "delta" ] ~doc)
+  Arg.(value & opt (positive_float ~what:"delta") 1e-4 & info [ "delta" ] ~doc)
 
 let deadline_arg =
   let doc = "Wall-clock budget in seconds per (DFA, condition) pair." in
@@ -47,8 +84,8 @@ let map_arg =
   Arg.(value & flag & info [ "map" ] ~doc)
 
 let grid_arg =
-  let doc = "Grid points per axis for the PB baseline." in
-  Arg.(value & opt int 100 & info [ "n"; "grid" ] ~doc)
+  let doc = "Grid points per axis for the PB baseline (at least 2)." in
+  Arg.(value & opt (bounded_int ~what:"grid" ~min:2) 100 & info [ "n"; "grid" ] ~doc)
 
 let taylor_arg =
   let doc = "Enable the mean-value-form (Taylor) contractor." in
@@ -62,7 +99,41 @@ let workers_arg =
   let doc =
     "Worker domains for the sub-box scheduler (0 = one per available core)."
   in
-  Arg.(value & opt int 1 & info [ "j"; "workers" ] ~doc ~docv:"N")
+  Arg.(
+    value
+    & opt (bounded_int ~what:"workers" ~min:0) 1
+    & info [ "j"; "workers" ] ~doc ~docv:"N")
+
+let retries_arg =
+  let doc =
+    "Retry errored or timed-out solver calls up to $(docv) times, escalating \
+     the fuel budget each attempt."
+  in
+  Arg.(
+    value
+    & opt (bounded_int ~what:"retries" ~min:0) 0
+    & info [ "retries" ] ~doc ~docv:"N")
+
+let fuel_growth_arg =
+  let doc = "Fuel multiplier per retry escalation step." in
+  Arg.(
+    value
+    & opt (bounded_int ~what:"fuel growth" ~min:1) 2
+    & info [ "fuel-growth" ] ~doc ~docv:"K")
+
+let fault_rate_arg =
+  let doc =
+    "Inject deterministic faults into this fraction of solver calls \
+     (testing the resilience machinery; see also XCV_FAULT_RATE)."
+  in
+  Arg.(
+    value
+    & opt (some (probability ~what:"fault rate")) None
+    & info [ "fault-rate" ] ~doc ~docv:"P")
+
+let fault_seed_arg =
+  let doc = "Seed of the fault-injection hash." in
+  Arg.(value & opt int Fault.default_seed & info [ "fault-seed" ] ~doc ~docv:"S")
 
 let trace_arg =
   let doc =
@@ -71,14 +142,22 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
 
-let config_of ?(use_taylor = false) ?(workers = 1) fuel threshold delta
-    deadline =
+let config_of ?(use_taylor = false) ?(workers = 1) ?(retries = 0)
+    ?(fuel_growth = 2) ?fault_rate ?(fault_seed = Fault.default_seed) fuel
+    threshold delta deadline =
+  let faults =
+    match fault_rate with
+    | Some rate -> Some (Fault.make ~seed:fault_seed ~rate ())
+    | None -> Fault.of_env ()
+  in
   {
     Verify.threshold;
-    solver = { Icp.default_config with fuel; delta; contractor_rounds = 3 };
+    solver =
+      { Icp.default_config with fuel; delta; contractor_rounds = 3; faults };
     deadline_seconds = deadline;
     workers = (if workers <= 0 then Pool.default_workers () else workers);
     use_taylor;
+    retry = { Verify.max_retries = retries; fuel_growth };
   }
 
 let lookup_pair dfa cond =
@@ -157,14 +236,15 @@ let encode_cmd =
 
 let verify_cmd =
   let run dfa cond fuel threshold delta deadline map use_taylor certify
-      workers trace =
+      workers trace retries fuel_growth fault_rate fault_seed =
     match lookup_pair dfa cond with
     | Error e ->
         prerr_endline e;
         exit 2
     | Ok (f, c) -> (
         let config =
-          config_of ~use_taylor ~workers fuel threshold delta deadline
+          config_of ~use_taylor ~workers ~retries ~fuel_growth ?fault_rate
+            ~fault_seed fuel threshold delta deadline
         in
         match Encoder.encode f c with
         | None ->
@@ -211,7 +291,8 @@ let verify_cmd =
     Term.(
       const run $ dfa_arg $ condition_arg $ fuel_arg $ threshold_arg
       $ delta_arg $ deadline_arg $ map_arg $ taylor_arg $ certify_arg
-      $ workers_arg $ trace_arg)
+      $ workers_arg $ trace_arg $ retries_arg $ fuel_growth_arg
+      $ fault_rate_arg $ fault_seed_arg)
 
 (* ---- extra (extension conditions) ------------------------------------ *)
 
@@ -252,12 +333,30 @@ let campaign_cmd =
     let doc = "Archive the outcomes (one s-expression per line)." in
     Arg.(value & opt (some string) None & info [ "save" ] ~doc ~docv:"FILE")
   in
-  let run quick fuel threshold delta deadline save =
+  let checkpoint_arg =
+    let doc =
+      "Append each completed outcome to $(docv) as the campaign proceeds; a \
+       killed run loses at most the pair in flight."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "checkpoint" ] ~doc ~docv:"FILE")
+  in
+  let resume_arg =
+    let doc =
+      "Reuse outcomes from a previous checkpoint $(docv); already-completed \
+       (DFA, condition) pairs are not re-run."
+    in
+    Arg.(value & opt (some string) None & info [ "resume" ] ~doc ~docv:"FILE")
+  in
+  let run quick fuel threshold delta deadline save checkpoint resume retries
+      fuel_growth fault_rate fault_seed =
     let config =
       if quick then Verify.quick_config
-      else config_of fuel threshold delta deadline
+      else
+        config_of ~retries ~fuel_growth ?fault_rate ~fault_seed fuel threshold
+          delta deadline
     in
-    let outcomes = Xcverifier.verify_all ~config () in
+    let outcomes = Xcverifier.verify_all ~config ?checkpoint ?resume () in
     List.iter (fun o -> Format.printf "%a@." Outcome.pp_summary o) outcomes;
     print_newline ();
     print_string (Report.table1 outcomes);
@@ -273,7 +372,8 @@ let campaign_cmd =
        ~doc:"Verify every applicable condition for the paper's five DFAs")
     Term.(
       const run $ quick_arg $ fuel_arg $ threshold_arg $ delta_arg
-      $ deadline_arg $ save_arg)
+      $ deadline_arg $ save_arg $ checkpoint_arg $ resume_arg $ retries_arg
+      $ fuel_growth_arg $ fault_rate_arg $ fault_seed_arg)
 
 (* ---- replay ----------------------------------------------------------- *)
 

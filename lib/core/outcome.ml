@@ -3,6 +3,7 @@ type status =
   | Counterexample of (string * float) list
   | Inconclusive of (string * float) list
   | Timeout
+  | Error of string
 
 type region = { box : Box.t; status : status; depth : int }
 
@@ -11,6 +12,7 @@ type stats = {
   total_expansions : int;
   total_prunes : int;
   total_revise_calls : int;
+  retries : int;
   elapsed : float;
 }
 
@@ -20,6 +22,7 @@ let zero_stats =
     total_expansions = 0;
     total_prunes = 0;
     total_revise_calls = 0;
+    retries = 0;
     elapsed = 0.0;
   }
 
@@ -60,6 +63,7 @@ type coverage = {
   counterexample : float;
   inconclusive : float;
   timeout : float;
+  error : float;
 }
 
 (* Pick the plotting plane: (rs, s) when 2D+, rs alone for LDAs. *)
@@ -76,7 +80,7 @@ let coverage ?(resolution = 64) t =
       rasterize t ~xdim ~ydim ~nx:resolution ~ny:1
     else rasterize t ~xdim ~ydim ~nx:resolution ~ny:resolution
   in
-  let counts = [| 0; 0; 0; 0 |] in
+  let counts = [| 0; 0; 0; 0; 0 |] in
   Array.iter
     (Array.iter (fun s ->
          let k =
@@ -85,6 +89,7 @@ let coverage ?(resolution = 64) t =
            | Counterexample _ -> 1
            | Inconclusive _ -> 2
            | Timeout -> 3
+           | Error _ -> 4
          in
          counts.(k) <- counts.(k) + 1))
     grid;
@@ -94,6 +99,7 @@ let coverage ?(resolution = 64) t =
     counterexample = float_of_int counts.(1) /. total;
     inconclusive = float_of_int counts.(2) /. total;
     timeout = float_of_int counts.(3) /. total;
+    error = float_of_int counts.(4) /. total;
   }
 
 let has_counterexample t =
@@ -126,6 +132,17 @@ let status_name = function
   | Counterexample _ -> "counterexample"
   | Inconclusive _ -> "inconclusive"
   | Timeout -> "timeout"
+  | Error _ -> "error"
+
+let has_error t =
+  List.exists
+    (fun r -> match r.status with Error _ -> true | _ -> false)
+    t.regions
+
+let first_error t =
+  List.find_map
+    (fun r -> match r.status with Error m -> Some m | _ -> None)
+    t.regions
 
 let pp_summary ppf t =
   let c = coverage t in
@@ -136,4 +153,7 @@ let pp_summary ppf t =
     (classification_symbol (classify t))
     (100. *. c.verified) (100. *. c.counterexample)
     (100. *. c.inconclusive) (100. *. c.timeout) t.stats.solver_calls
-    t.stats.total_expansions t.stats.elapsed
+    t.stats.total_expansions t.stats.elapsed;
+  if c.error > 0.0 || t.stats.retries > 0 then
+    Format.fprintf ppf " [errors %.1f%%, %d retries]" (100. *. c.error)
+      t.stats.retries

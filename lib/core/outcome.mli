@@ -13,6 +13,10 @@ type status =
   | Inconclusive of (string * float) list
       (** δ-sat model that failed [valid(x)] — the paper's yellow regions *)
   | Timeout  (** solver fuel exhausted on the box *)
+  | Error of string
+      (** the solver call raised (after the retry policy was exhausted);
+        carries the exception message. Isolated to this box — the rest of
+        the campaign is unaffected. *)
 
 type region = { box : Box.t; status : status; depth : int }
 
@@ -22,9 +26,13 @@ type region = { box : Box.t; status : status; depth : int }
     {!Trace.Solve} fuel events sum to [total_expansions] exactly. *)
 type stats = {
   solver_calls : int;
+      (** solver invocations, counting each retry attempt separately *)
   total_expansions : int;  (** summed solver fuel consumed *)
   total_prunes : int;  (** boxes the solver discarded as infeasible *)
   total_revise_calls : int;  (** HC4 revise invocations *)
+  retries : int;
+      (** re-runs of errored or timed-out solver calls made by the retry
+        policy ({!Verify.retry_policy}); 0 when retries are disabled *)
   elapsed : float;  (** wall-clock seconds *)
 }
 
@@ -63,6 +71,7 @@ type coverage = {
   counterexample : float;
   inconclusive : float;
   timeout : float;
+  error : float;
 }
 
 val coverage : ?resolution:int -> t -> coverage
@@ -73,6 +82,12 @@ val classify : ?resolution:int -> t -> classification
 
 (** First counterexample model of the log, if any. *)
 val first_counterexample : t -> (string * float) list option
+
+(** Whether any region of the log carries an {!Error} paint. *)
+val has_error : t -> bool
+
+(** First error message of the log, if any. *)
+val first_error : t -> string option
 
 val classification_symbol : classification -> string
 val status_name : status -> string

@@ -3,6 +3,7 @@ let status_char = function
   | Outcome.Counterexample _ -> '#'
   | Outcome.Inconclusive _ -> 'o'
   | Outcome.Timeout -> 'T'
+  | Outcome.Error _ -> 'E'
 
 let frame ~xlabel ~ylabel rows =
   (* rows.(0) is the top line. *)
@@ -80,6 +81,6 @@ let figure ~title ~pb outcome =
   | None -> ());
   Buffer.add_string buf
     "--- XCVerifier (. verified, # counterexample, o inconclusive, T \
-     timeout) ---\n";
+     timeout, E error) ---\n";
   Buffer.add_string buf (outcome_map outcome);
   Buffer.contents buf

@@ -34,7 +34,8 @@ let overlap_fraction (t : Outcome.t) (pb : Pbcheck.result) =
           (fun acc p ->
             match final_status t p with
             | Some (Outcome.Counterexample _) -> acc + 1
-            | Some (Outcome.Inconclusive _ | Outcome.Timeout) -> acc + 1
+            | Some (Outcome.Inconclusive _ | Outcome.Timeout | Outcome.Error _)
+              -> acc + 1
             | Some Outcome.Verified | None -> acc)
           0 points
       in

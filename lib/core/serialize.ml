@@ -1,6 +1,10 @@
 module S = Parser.Sexp
 
-let format_version = 2
+let format_version = 3
+
+(* v2 archives (no [error] status, no [retries] stat) are still loadable;
+   anything else is rejected rather than guessed at. *)
+let readable_versions = [ 2; 3 ]
 
 let fail fmt = Format.kasprintf (fun s -> raise (Parser.Parse_error s)) fmt
 
@@ -85,12 +89,14 @@ let sexp_of_status = function
   | Outcome.Timeout -> S.List [ S.Atom "timeout" ]
   | Outcome.Counterexample m -> S.List [ S.Atom "counterexample"; sexp_of_model m ]
   | Outcome.Inconclusive m -> S.List [ S.Atom "inconclusive"; sexp_of_model m ]
+  | Outcome.Error msg -> S.List [ S.Atom "error"; S.Atom (encode msg) ]
 
 let status_of_sexp = function
   | S.List [ S.Atom "verified" ] -> Outcome.Verified
   | S.List [ S.Atom "timeout" ] -> Outcome.Timeout
   | S.List [ S.Atom "counterexample"; m ] -> Outcome.Counterexample (model_of_sexp m)
   | S.List [ S.Atom "inconclusive"; m ] -> Outcome.Inconclusive (model_of_sexp m)
+  | S.List [ S.Atom "error"; S.Atom msg ] -> Outcome.Error (decode msg)
   | _ -> fail "malformed status"
 
 let sexp_of_region (r : Outcome.region) =
@@ -126,10 +132,42 @@ let sexp_of_outcome (o : Outcome.t) =
           S.Atom (string_of_int o.Outcome.stats.Outcome.total_expansions);
           S.Atom (string_of_int o.Outcome.stats.Outcome.total_prunes);
           S.Atom (string_of_int o.Outcome.stats.Outcome.total_revise_calls);
+          S.Atom (string_of_int o.Outcome.stats.Outcome.retries);
           atom_of_float o.Outcome.stats.Outcome.elapsed;
         ];
       S.List (S.Atom "regions" :: List.map sexp_of_region o.Outcome.regions);
     ]
+
+(* v2 stats carry four counters + elapsed; v3 adds [retries] before
+   [elapsed] (0 when reading a v2 archive). *)
+let stats_of_sexp = function
+  | S.List
+      [
+        S.Atom "stats"; S.Atom calls; S.Atom expansions; S.Atom prunes;
+        S.Atom revise; elapsed;
+      ] ->
+      {
+        Outcome.solver_calls = int_of_string calls;
+        total_expansions = int_of_string expansions;
+        total_prunes = int_of_string prunes;
+        total_revise_calls = int_of_string revise;
+        retries = 0;
+        elapsed = float_of_atom elapsed;
+      }
+  | S.List
+      [
+        S.Atom "stats"; S.Atom calls; S.Atom expansions; S.Atom prunes;
+        S.Atom revise; S.Atom retries; elapsed;
+      ] ->
+      {
+        Outcome.solver_calls = int_of_string calls;
+        total_expansions = int_of_string expansions;
+        total_prunes = int_of_string prunes;
+        total_revise_calls = int_of_string revise;
+        retries = int_of_string retries;
+        elapsed = float_of_atom elapsed;
+      }
+  | _ -> fail "malformed stats"
 
 let outcome_of_sexp = function
   | S.List
@@ -138,28 +176,17 @@ let outcome_of_sexp = function
         S.List [ S.Atom "dfa"; S.Atom dfa ];
         S.List [ S.Atom "condition"; S.Atom condition ];
         domain;
-        S.List
-          [
-            S.Atom "stats"; S.Atom calls; S.Atom expansions; S.Atom prunes;
-            S.Atom revise; elapsed;
-          ];
+        stats;
         S.List (S.Atom "regions" :: regions);
       ] ->
-      if int_of_string version <> format_version then
+      if not (List.mem (int_of_string version) readable_versions) then
         fail "unsupported outcome format version %s" version;
       {
         Outcome.dfa = decode dfa;
         condition = decode condition;
         domain = box_of_sexp domain;
         regions = List.map region_of_sexp regions;
-        stats =
-          {
-            Outcome.solver_calls = int_of_string calls;
-            total_expansions = int_of_string expansions;
-            total_prunes = int_of_string prunes;
-            total_revise_calls = int_of_string revise;
-            elapsed = float_of_atom elapsed;
-          };
+        stats = stats_of_sexp stats;
       }
   | _ -> fail "malformed outcome"
 
@@ -196,6 +223,42 @@ let load path =
         | exception End_of_file -> List.rev acc
       in
       go [])
+
+let append path outcomes =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun o ->
+          output_string oc (to_string o);
+          output_char oc '\n';
+          (* flush per outcome: a killed campaign leaves only whole lines
+             plus possibly one torn tail, which [load_checkpoint] skips *)
+          flush oc)
+        outcomes)
+
+let load_checkpoint path =
+  if not (Sys.file_exists path) then []
+  else
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> (
+              if String.trim line = "" then go acc
+              else
+                (* stop at the first malformed line — anything after a torn
+                   write is untrustworthy; the valid prefix is the resume
+                   point *)
+                match of_string line with
+                | o -> go (o :: acc)
+                | exception _ -> List.rev acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
 
 (* ------------------------------------------------------------------ *)
 (* JSON — the trace export format. S-expressions stay the archival
@@ -435,7 +498,10 @@ module Json = struct
   let to_list = function Arr l -> l | _ -> fail "JSON: expected array"
 end
 
-let trace_format_version = 1
+let trace_format_version = 2
+
+(* v1 traces (no [retry] events) are still loadable. *)
+let readable_trace_versions = [ 1; 2 ]
 
 let json_of_box box =
   Json.Obj
@@ -481,6 +547,12 @@ let json_of_event (ev : Trace.event) =
         ]
     | Trace.Verdict status -> [ ("status", Json.Str status) ]
     | Trace.Split children -> [ ("children", Json.Num (float_of_int children)) ]
+    | Trace.Retry { attempt; reason; fuel } ->
+        [
+          ("attempt", Json.Num (float_of_int attempt));
+          ("reason", Json.Str reason);
+          ("fuel", Json.Num (float_of_int fuel));
+        ]
   in
   Json.Obj (base @ payload)
 
@@ -501,6 +573,13 @@ let event_of_json j =
           }
     | "verdict" -> Trace.Verdict (Json.to_str (Json.member "status" j))
     | "split" -> Trace.Split (Json.to_int (Json.member "children" j))
+    | "retry" ->
+        Trace.Retry
+          {
+            attempt = Json.to_int (Json.member "attempt" j);
+            reason = Json.to_str (Json.member "reason" j);
+            fuel = Json.to_int (Json.member "fuel" j);
+          }
     | k -> fail "JSON: unknown event kind %S" k
   in
   {
@@ -520,7 +599,7 @@ let json_of_trace events =
 
 let trace_of_json j =
   let version = Json.to_int (Json.member "version" j) in
-  if version <> trace_format_version then
+  if not (List.mem version readable_trace_versions) then
     fail "unsupported trace format version %d" version;
   List.map event_of_json (Json.to_list (Json.member "events" j))
 
@@ -542,6 +621,7 @@ let trace_report (o : Outcome.t) events =
                ("total_prunes", Json.Num (float_of_int o.Outcome.stats.Outcome.total_prunes));
                ( "total_revise_calls",
                  Json.Num (float_of_int o.Outcome.stats.Outcome.total_revise_calls) );
+               ("retries", Json.Num (float_of_int o.Outcome.stats.Outcome.retries));
                ("elapsed", Json.Num o.Outcome.stats.Outcome.elapsed);
              ] );
          ("trace", json_of_trace events);

@@ -6,7 +6,8 @@
     and model coordinate round-trips bit-exactly.
 
     The format is versioned; {!load} rejects unknown versions rather than
-    guessing. *)
+    guessing. Version 3 (current) adds the [error] region status and the
+    [retries] stat; version 2 archives are still read (with [retries = 0]). *)
 
 val format_version : int
 
@@ -22,6 +23,22 @@ val of_string : string -> Outcome.t
 val save : string -> Outcome.t list -> unit
 
 val load : string -> Outcome.t list
+
+(** {1 Checkpoints}
+
+    A campaign checkpoint is the same one-s-expression-per-line format as
+    {!save}, but written incrementally: {!append} adds outcomes to the end
+    of the file (creating it if absent) and flushes after every line, so a
+    killed process leaves a loadable prefix plus at most one torn tail. *)
+
+(** [append path outcomes] appends, flushing per outcome. *)
+val append : string -> Outcome.t list -> unit
+
+(** [load_checkpoint path] loads the valid prefix of a checkpoint: [[]] if
+    the file does not exist, and parsing stops silently at the first
+    malformed line (a torn write from a killed campaign) — unlike {!load},
+    which raises. *)
+val load_checkpoint : string -> Outcome.t list
 
 (** {1 Trace JSON}
 

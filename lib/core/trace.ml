@@ -3,6 +3,7 @@ type kind =
   | Solve of { fuel : int; prunes : int }
   | Verdict of string
   | Split of int
+  | Retry of { attempt : int; reason : string; fuel : int }
 
 type event = { path : int list; depth : int; step : int; box : Box.t; kind : kind }
 
@@ -36,7 +37,10 @@ let events r =
 
 let total_fuel evs =
   List.fold_left
-    (fun acc ev -> match ev.kind with Solve { fuel; _ } -> acc + fuel | _ -> acc)
+    (fun acc ev ->
+      match ev.kind with
+      | Solve { fuel; _ } | Retry { fuel; _ } -> acc + fuel
+      | _ -> acc)
     0 evs
 
 let kind_name = function
@@ -44,6 +48,7 @@ let kind_name = function
   | Solve _ -> "solve"
   | Verdict _ -> "verdict"
   | Split _ -> "split"
+  | Retry _ -> "retry"
 
 let pp_event ppf ev =
   Format.fprintf ppf "[%s] depth %d %s"
@@ -55,3 +60,5 @@ let pp_event ppf ev =
   | Solve { fuel; prunes } -> Format.fprintf ppf " fuel=%d prunes=%d" fuel prunes
   | Verdict s -> Format.fprintf ppf " %s" s
   | Split n -> Format.fprintf ppf " children=%d" n
+  | Retry { attempt; reason; fuel } ->
+      Format.fprintf ppf " attempt=%d reason=%s fuel=%d" attempt reason fuel

@@ -18,9 +18,15 @@ type kind =
   | Contract of { revise_calls : int; sweeps : int }
       (** HC4 effort of this box's solver call *)
   | Solve of { fuel : int; prunes : int }
-      (** fuel (box expansions) and prunes of this box's solver call *)
+      (** fuel (box expansions) and prunes of this box's final solver call *)
   | Verdict of string  (** {!Outcome.status_name} of the region painted *)
   | Split of int  (** the box was split into this many children *)
+  | Retry of { attempt : int; reason : string; fuel : int }
+      (** a failed solver call (reason ["error"] or ["timeout"]) was
+          re-run; [attempt] is the upcoming attempt's ordinal and [fuel]
+          the expansions burned by the failed attempt. Emitted with
+          negative steps so retries sort before the box's final
+          contract/solve burst. *)
 
 type event = {
   path : int list;  (** child indices from the root domain; [[]] = root *)
@@ -45,8 +51,9 @@ val events : t -> event list
 (** Pre-order comparison on box paths (prefix first). *)
 val compare_path : int list -> int list -> int
 
-(** Sum of {!Solve} fuel over the log; equals the outcome's
-    [total_expansions] for the pair the trace was recorded from. *)
+(** Sum of {!Solve} and {!Retry} fuel over the log; equals the outcome's
+    [total_expansions] for the pair the trace was recorded from (failed
+    attempts burn real fuel too). *)
 val total_fuel : event list -> int
 
 val kind_name : kind -> string

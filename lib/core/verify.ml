@@ -1,9 +1,14 @@
+type retry_policy = { max_retries : int; fuel_growth : int }
+
+let no_retry = { max_retries = 0; fuel_growth = 2 }
+
 type config = {
   threshold : float;
   solver : Icp.config;
   deadline_seconds : float option;
   workers : int;
   use_taylor : bool;
+  retry : retry_policy;
 }
 
 let default_config =
@@ -14,6 +19,7 @@ let default_config =
     deadline_seconds = None;
     workers = 1;
     use_taylor = false;
+    retry = no_retry;
   }
 
 let quick_config =
@@ -24,7 +30,20 @@ let quick_config =
     deadline_seconds = Some 30.0;
     workers = 1;
     use_taylor = false;
+    retry = no_retry;
   }
+
+(* Fuel for retry attempt [k]: the base budget escalated by the policy's
+   growth factor, saturating well below overflow. *)
+let escalated_fuel base growth k =
+  let growth = Stdlib.max 1 growth in
+  let cap = 1_000_000_000 in
+  let rec go fuel k =
+    if k <= 0 then fuel
+    else if fuel >= cap / growth then cap
+    else go (fuel * growth) (k - 1)
+  in
+  go base (Stdlib.max 0 k)
 
 (* The paper's valid(x): plug the model back into the *negated* condition in
    float arithmetic; a true counterexample violates psi, i.e. satisfies
@@ -74,7 +93,8 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
   let solver_calls = Atomic.make 0
   and total_expansions = Atomic.make 0
   and total_prunes = Atomic.make 0
-  and total_revise_calls = Atomic.make 0 in
+  and total_revise_calls = Atomic.make 0
+  and total_retries = Atomic.make 0 in
   let record path depth box step kind =
     match recorder with
     | Some r -> Trace.record r { Trace.path; depth; step; box; kind }
@@ -113,37 +133,91 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
         })
       boxes
   in
-  (* Handle one box: solve, paint, and split when unresolved. Runs on
-     worker domains; everything here is construction-free (the formula and
-     contractors were built above, on the calling domain). *)
+  let add_stats (stats : Icp.stats) =
+    ignore (Atomic.fetch_and_add total_expansions stats.Icp.expansions);
+    ignore (Atomic.fetch_and_add total_prunes stats.Icp.prunes);
+    ignore (Atomic.fetch_and_add total_revise_calls stats.Icp.revise_calls)
+  in
+  (* Handle one box: solve (with the bounded retry policy), paint, and
+     split when unresolved. Runs on worker domains; everything here is
+     construction-free (the formula and contractors were built above, on
+     the calling domain). A solver call that raises is isolated to this
+     box: retried with escalated fuel while attempts remain, then painted
+     as an [Error] region; timed-out calls are retried the same way.
+     Fault decisions and fuel schedules depend only on the box and the
+     attempt ordinal, never on scheduling, so the paint log stays
+     identical at every worker count. *)
   let handle t =
     if t.width < config.threshold then (None, [])
     else begin
-      Atomic.incr solver_calls;
-      let verdict, stats = Icp.solve ~contractors config.solver t.box negated in
-      ignore (Atomic.fetch_and_add total_expansions stats.Icp.expansions);
-      ignore (Atomic.fetch_and_add total_prunes stats.Icp.prunes);
-      ignore (Atomic.fetch_and_add total_revise_calls stats.Icp.revise_calls);
-      record t.path t.depth t.box 0
-        (Trace.Contract
-           { revise_calls = stats.Icp.revise_calls; sweeps = stats.Icp.sweeps });
-      record t.path t.depth t.box 1
-        (Trace.Solve { fuel = stats.Icp.expansions; prunes = stats.Icp.prunes });
       let region status subtasks =
         record t.path t.depth t.box 2 (Trace.Verdict (Outcome.status_name status));
         ( Some (t.path, { Outcome.box = t.box; status; depth = t.depth }),
           subtasks )
       in
-      match verdict with
-      | Icp.Unsat -> region Outcome.Verified []
-      | Icp.Sat { model; _ } ->
+      (* Retry events get negative steps so a box's failed attempts sort
+         before its final contract/solve burst in the path-ordered log. *)
+      let record_retry k reason fuel =
+        Atomic.incr total_retries;
+        record t.path t.depth t.box (k + 1 - 1000)
+          (Trace.Retry { attempt = k + 1; reason; fuel })
+      in
+      let rec attempt_solve k =
+        Atomic.incr solver_calls;
+        let scfg =
+          {
+            config.solver with
+            Icp.fuel =
+              escalated_fuel config.solver.Icp.fuel config.retry.fuel_growth k;
+          }
+        in
+        match Icp.solve ~contractors ~attempt:k scfg t.box negated with
+        | exception e ->
+            if k < config.retry.max_retries then begin
+              (* the aborted attempt's counters are lost with the
+                 exception; its retry event carries zero fuel *)
+              record_retry k "error" 0;
+              attempt_solve (k + 1)
+            end
+            else `Failed (Printexc.to_string e)
+        | Icp.Timeout, stats when k < config.retry.max_retries ->
+            add_stats stats;
+            record_retry k "timeout" stats.Icp.expansions;
+            attempt_solve (k + 1)
+        | verdict, stats ->
+            add_stats stats;
+            record t.path t.depth t.box 0
+              (Trace.Contract
+                 {
+                   revise_calls = stats.Icp.revise_calls;
+                   sweeps = stats.Icp.sweeps;
+                 });
+            record t.path t.depth t.box 1
+              (Trace.Solve
+                 { fuel = stats.Icp.expansions; prunes = stats.Icp.prunes });
+            `Solved verdict
+      in
+      match attempt_solve 0 with
+      | `Failed msg ->
+          (* error isolation: this box is painted errored and split — its
+             children re-roll the dice — while the campaign continues *)
+          region (Outcome.Error msg) (children t)
+      | `Solved Icp.Unsat -> region Outcome.Verified []
+      | `Solved (Icp.Sat { model; _ }) ->
           let status =
             if valid_model negated model then Outcome.Counterexample model
             else Outcome.Inconclusive model
           in
           region status (children t)
-      | Icp.Timeout -> region Outcome.Timeout (children t)
+      | `Solved Icp.Timeout -> region Outcome.Timeout (children t)
     end
+  in
+  (* Supervision backstop: a failure outside the retried solver call (e.g.
+     in the split heuristic) still only costs its own box. *)
+  let recover t e =
+    let status = Outcome.Error (Printexc.to_string e) in
+    record t.path t.depth t.box 2 (Trace.Verdict (Outcome.status_name status));
+    (Some (t.path, { Outcome.box = t.box; status; depth = t.depth }), [])
   in
   let root =
     {
@@ -156,7 +230,7 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
   in
   let { Worklist.results; dropped } =
     Worklist.process ~workers:(Stdlib.max 1 config.workers)
-      ~compare:schedule_order ~stop:past_deadline ~handle [ root ]
+      ~compare:schedule_order ~stop:past_deadline ~recover ~handle [ root ]
   in
   (* Graceful drain: boxes still pending at the deadline are painted as
      timeouts (the old recursion's behaviour for boxes it reached after the
@@ -190,6 +264,7 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
         total_expansions = Atomic.get total_expansions;
         total_prunes = Atomic.get total_prunes;
         total_revise_calls = Atomic.get total_revise_calls;
+        retries = Atomic.get total_retries;
         elapsed = Unix.gettimeofday () -. started;
       };
   }
@@ -202,15 +277,133 @@ let run ?config ?recorder (p : Encoder.problem) =
 let run_pair ?config ?recorder dfa cond =
   Option.map (run ?config ?recorder) (Encoder.encode dfa cond)
 
-let campaign ?config dfas =
+(* A pair whose run failed outright (exception outside the box-level
+   isolation, retries exhausted): the whole domain is painted as a single
+   error region so the campaign table still has a cell for it. *)
+let error_outcome ~dfa ~condition ~domain ~retries msg =
+  {
+    Outcome.dfa;
+    condition;
+    domain;
+    regions = [ { Outcome.box = domain; status = Outcome.Error msg; depth = 0 } ];
+    stats = { Outcome.zero_stats with Outcome.retries };
+  }
+
+let load_resumed = function
+  | None -> []
+  | Some path -> Serialize.load_checkpoint path
+
+let find_resumed resumed ~dfa_label ~condition_name =
+  List.find_opt
+    (fun (o : Outcome.t) ->
+      String.equal o.Outcome.dfa dfa_label
+      && String.equal o.Outcome.condition condition_name)
+    resumed
+
+(* Pair-level supervision: retry a pair whose run raised with escalated
+   fuel, then give up with an [error_outcome]. Box-level isolation inside
+   [run] already absorbs solver failures, so this is the outer belt. *)
+let run_pair_supervised ~config (p : Encoder.problem) =
+  let dfa = p.Encoder.dfa.Registry.label
+  and condition = Conditions.name p.Encoder.condition in
+  let rec go k =
+    let cfg =
+      {
+        config with
+        solver =
+          {
+            config.solver with
+            Icp.fuel =
+              escalated_fuel config.solver.Icp.fuel config.retry.fuel_growth k;
+          };
+      }
+    in
+    match run ~config:cfg p with
+    | o when k = 0 -> o
+    | o ->
+        (* surface the pair-level attempts alongside the box-level ones *)
+        {
+          o with
+          Outcome.stats =
+            {
+              o.Outcome.stats with
+              Outcome.retries = o.Outcome.stats.Outcome.retries + k;
+            };
+        }
+    | exception e ->
+        if k < config.retry.max_retries then go (k + 1)
+        else
+          error_outcome ~dfa ~condition ~domain:p.Encoder.domain ~retries:k
+            (Printexc.to_string e)
+  in
+  go 0
+
+let campaign ?(config = default_config) ?checkpoint ?resume dfas =
+  let resumed = load_resumed resume in
   List.concat_map
     (fun dfa ->
-      List.filter_map (fun cond -> run_pair ?config dfa cond) Conditions.all)
+      List.filter_map
+        (fun cond ->
+          match
+            find_resumed resumed ~dfa_label:dfa.Registry.label
+              ~condition_name:(Conditions.name cond)
+          with
+          | Some o -> Some o
+          | None -> (
+              match Encoder.encode dfa cond with
+              | None -> None
+              | Some p ->
+                  let o = run_pair_supervised ~config p in
+                  (* one flushed line per completed pair: a SIGKILL loses at
+                     most the pair in flight, and resume replays the rest *)
+                  Option.iter (fun path -> Serialize.append path [ o ]) checkpoint;
+                  Some o))
+        Conditions.all)
     dfas
 
-let campaign_parallel ?config ~workers dfas =
+let campaign_parallel ?(config = default_config) ?checkpoint ?resume ~workers
+    dfas =
   (* Expressions must be hash-consed on the main domain (the cons table is
      unsynchronized); encode everything first, then fan the construction-free
      solver runs out over the pool. *)
   let problems = Encoder.encode_all dfas in
-  Pool.map ~workers (fun p -> run ?config p) problems
+  let resumed = load_resumed resume in
+  let fresh, reused =
+    List.partition
+      (fun (p : Encoder.problem) ->
+        Option.is_none
+          (find_resumed resumed ~dfa_label:p.Encoder.dfa.Registry.label
+             ~condition_name:(Conditions.name p.Encoder.condition)))
+      problems
+  in
+  ignore reused;
+  let outcomes =
+    List.map2
+      (fun (p : Encoder.problem) result ->
+        match result with
+        | Ok o -> o
+        | Error e ->
+            error_outcome ~dfa:p.Encoder.dfa.Registry.label
+              ~condition:(Conditions.name p.Encoder.condition)
+              ~domain:p.Encoder.domain ~retries:config.retry.max_retries
+              (Printexc.to_string e))
+      fresh
+      (Pool.map_result ~workers (run_pair_supervised ~config) fresh)
+  in
+  Option.iter (fun path -> Serialize.append path outcomes) checkpoint;
+  (* splice resumed outcomes back in canonical pair order *)
+  List.filter_map
+    (fun (p : Encoder.problem) ->
+      match
+        find_resumed resumed ~dfa_label:p.Encoder.dfa.Registry.label
+          ~condition_name:(Conditions.name p.Encoder.condition)
+      with
+      | Some o -> Some o
+      | None ->
+          List.find_opt
+            (fun (o : Outcome.t) ->
+              String.equal o.Outcome.dfa p.Encoder.dfa.Registry.label
+              && String.equal o.Outcome.condition
+                   (Conditions.name p.Encoder.condition))
+            outcomes)
+    problems

@@ -30,6 +30,21 @@
     pending (at or above the threshold) are painted as timeouts rather
     than dropped silently. *)
 
+(** Bounded, deterministic retry of failed solver calls. An errored or
+    timed-out call on a box is re-run up to [max_retries] times with the
+    fuel budget multiplied by [fuel_growth] per attempt (saturating);
+    attempts are keyed by their ordinal so fault-injection decisions
+    ({!Fault.decide}) re-roll deterministically. Exhausted retries paint
+    the box {!Outcome.Error} (errors) or {!Outcome.Timeout}. *)
+type retry_policy = {
+  max_retries : int;  (** additional attempts after the first; 0 = off *)
+  fuel_growth : int;  (** fuel multiplier per escalation step; >= 1 *)
+}
+
+(** The default: no retries ([max_retries = 0]) — failures surface on the
+    first attempt, exactly the pre-retry behaviour. *)
+val no_retry : retry_policy
+
 type config = {
   threshold : float;  (** the paper's [t]; default 0.05 *)
   solver : Icp.config;
@@ -40,6 +55,7 @@ type config = {
       (** add the mean-value-form contractor ({!Taylor}) to the solver's
           contraction pipeline; helps on smooth conditions once boxes are
           small, costs one symbolic gradient per pair up front *)
+  retry : retry_policy;
 }
 
 val default_config : config
@@ -69,14 +85,34 @@ val run_pair :
 
 (** [campaign ~config dfas] runs every applicable pair (Table I's rows x
     columns), sequentially per pair (each pair still uses
-    [config.workers] domains internally). *)
-val campaign : ?config:config -> Registry.t list -> Outcome.t list
+    [config.workers] domains internally).
+
+    Supervision: a pair whose run raises (outside the box-level isolation)
+    is retried per [config.retry] with escalated fuel and finally recorded
+    as a single whole-domain {!Outcome.Error} region — the campaign never
+    aborts on one pair.
+
+    [checkpoint], when given, appends each completed outcome to the file
+    (one s-expression line, flushed) as the campaign proceeds; a killed
+    campaign loses at most the pair in flight. [resume], when given, loads
+    outcomes from a previous checkpoint and reuses them for already-completed
+    (dfa, condition) pairs instead of re-running; the returned list is in the
+    same canonical pair order either way. Typically the same path is passed
+    as both. *)
+val campaign :
+  ?config:config -> ?checkpoint:string -> ?resume:string ->
+  Registry.t list -> Outcome.t list
 
 (** [campaign_parallel ~config ~workers dfas] — as {!campaign}, but fanned
     out over a {!Pool} of domains at pair granularity. All formulas are
     encoded on the calling domain first (expression hash-consing is not
     thread-safe); the solver itself never builds expressions, so the
     parallel runs are safe. Prefer per-pair workers ([config.workers]) for
-    few long pairs, this for many short ones. *)
+    few long pairs, this for many short ones.
+
+    Supervision, [checkpoint] and [resume] as in {!campaign}, except the
+    checkpoint is written once, after the pool drains (resume granularity
+    is the whole batch of fresh pairs). *)
 val campaign_parallel :
-  ?config:config -> workers:int -> Registry.t list -> Outcome.t list
+  ?config:config -> ?checkpoint:string -> ?resume:string -> workers:int ->
+  Registry.t list -> Outcome.t list

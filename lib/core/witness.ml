@@ -35,7 +35,8 @@ let extract (p : Encoder.problem) (o : Outcome.t) =
             | None ->
                 incr dropped;
                 None)
-        | Outcome.Verified | Outcome.Inconclusive _ | Outcome.Timeout -> None)
+        | Outcome.Verified | Outcome.Inconclusive _ | Outcome.Timeout
+        | Outcome.Error _ -> None)
       o.Outcome.regions
   in
   ( { dfa = o.Outcome.dfa; condition = o.Outcome.condition; witnesses },

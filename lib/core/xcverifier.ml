@@ -3,7 +3,8 @@ let verify ?config ~dfa ~condition () =
   let c = Conditions.of_name condition in
   Verify.run_pair ?config f c
 
-let verify_all ?config () = Verify.campaign ?config Registry.paper_five
+let verify_all ?config ?checkpoint ?resume () =
+  Verify.campaign ?config ?checkpoint ?resume Registry.paper_five
 
 let baseline ?n ~dfa ~condition () =
   let f = Registry.find dfa in

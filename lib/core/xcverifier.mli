@@ -17,8 +17,11 @@ val verify :
   Outcome.t option
 
 (** [verify_all ()] runs the paper's full campaign: every applicable
-    condition for the five DFAs of Table I. *)
-val verify_all : ?config:Verify.config -> unit -> Outcome.t list
+    condition for the five DFAs of Table I. [checkpoint]/[resume] as in
+    {!Verify.campaign}. *)
+val verify_all :
+  ?config:Verify.config -> ?checkpoint:string -> ?resume:string -> unit ->
+  Outcome.t list
 
 (** [baseline ~dfa ~condition ()] runs the Pederson-Burke grid check. *)
 val baseline :

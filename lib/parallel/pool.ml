@@ -1,5 +1,30 @@
 let default_workers () = Stdlib.max 1 (Domain.recommended_domain_count ())
 
+(* Shared-cursor work pulling over [items], with a per-item [run] that never
+   raises (it returns a value or records a failure itself) and a [continue]
+   probe checked *before* claiming: a worker that observes a fail-fast flag
+   stops immediately, without advancing the cursor past items it would then
+   abandon. *)
+let distribute ~workers ~continue ~run n =
+  let cursor = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      if continue () then begin
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          run i;
+          loop ()
+        end
+      end
+    in
+    loop ()
+  in
+  let domains =
+    List.init (Stdlib.min workers n - 1) (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  List.iter Domain.join domains
+
 let map ~workers f xs =
   match xs with
   | [] -> []
@@ -9,28 +34,34 @@ let map ~workers f xs =
       let items = Array.of_list xs in
       let n = Array.length items in
       let results = Array.make n None in
-      let cursor = Atomic.make 0 in
       let failure = Atomic.make None in
-      let worker () =
-        let rec loop () =
-          let i = Atomic.fetch_and_add cursor 1 in
-          if i < n && Atomic.get failure = None then begin
-            (match f items.(i) with
-            | v -> results.(i) <- Some v
-            | exception e ->
-                (* Keep only the first failure; others are racing losers. *)
-                ignore (Atomic.compare_and_set failure None (Some e)));
-            loop ()
-          end
-        in
-        loop ()
-      in
-      let domains =
-        List.init (Stdlib.min workers n - 1) (fun _ -> Domain.spawn worker)
-      in
-      worker ();
-      List.iter Domain.join domains;
+      distribute ~workers n
+        ~continue:(fun () -> Atomic.get failure = None)
+        ~run:(fun i ->
+          match f items.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              (* Keep only the first failure; others are racing losers. *)
+              ignore (Atomic.compare_and_set failure None (Some e)));
       (match Atomic.get failure with Some e -> raise e | None -> ());
+      Array.to_list
+        (Array.map
+           (function Some v -> v | None -> assert false)
+           results)
+
+let map_result ~workers f xs =
+  let wrap x = match f x with v -> Ok v | exception e -> Error e in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ wrap x ]
+  | _ when workers <= 1 -> List.map wrap xs
+  | _ ->
+      let items = Array.of_list xs in
+      let n = Array.length items in
+      let results = Array.make n None in
+      distribute ~workers n
+        ~continue:(fun () -> true)
+        ~run:(fun i -> results.(i) <- Some (wrap items.(i)));
       Array.to_list
         (Array.map
            (function Some v -> v | None -> assert false)

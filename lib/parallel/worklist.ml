@@ -89,7 +89,18 @@ type ('task, 'result) state = {
 let default_capacity = 1 lsl 16
 
 let process ~workers ~compare ?(stop = fun () -> false)
-    ?(capacity = default_capacity) ~handle init =
+    ?(capacity = default_capacity) ?recover ~handle init =
+  (* Supervision: a raising handler is routed through [recover] when given;
+     only when [recover] is absent (or itself raises) does the failure
+     abort the whole run. *)
+  let protected t =
+    match handle t with
+    | r -> Ok r
+    | exception e -> (
+        match recover with
+        | None -> Error e
+        | Some f -> ( match f t e with r -> Ok r | exception e2 -> Error e2))
+  in
   let st =
     {
       heap = Heap.create ~capacity compare;
@@ -120,9 +131,11 @@ let process ~workers ~compare ?(stop = fun () -> false)
             go rest
           end
           else begin
-            let r, children = handle t in
-            results := r :: !results;
-            go (List.rev_append children rest)
+            match protected t with
+            | Error e -> raise e
+            | Ok (r, children) ->
+                results := r :: !results;
+                go (List.rev_append children rest)
           end
     in
     go [ t ];
@@ -160,15 +173,15 @@ let process ~workers ~compare ?(stop = fun () -> false)
           Mutex.unlock st.lock
       | `Run t -> (
           Mutex.unlock st.lock;
-          match handle t with
-          | exception e ->
+          match protected t with
+          | Error e ->
               Mutex.lock st.lock;
               if st.failed = None then st.failed <- Some e;
               st.in_flight <- st.in_flight - 1;
               Condition.broadcast st.wake;
               Mutex.unlock st.lock;
               running := false
-          | r, children ->
+          | Ok (r, children) -> (
               Mutex.lock st.lock;
               st.results <- r :: st.results;
               let overflow =
@@ -176,7 +189,7 @@ let process ~workers ~compare ?(stop = fun () -> false)
               in
               Mutex.unlock st.lock;
               (* handle overflow children outside the lock *)
-              let extra_r, extra_d =
+              match
                 match overflow with
                 | [] -> ([], [])
                 | _ ->
@@ -185,13 +198,21 @@ let process ~workers ~compare ?(stop = fun () -> false)
                         let r, d = run_local c in
                         (List.rev_append r rs, List.rev_append d ds))
                       ([], []) overflow
-              in
-              Mutex.lock st.lock;
-              st.results <- List.rev_append extra_r st.results;
-              st.dropped <- List.rev_append extra_d st.dropped;
-              st.in_flight <- st.in_flight - 1;
-              Condition.broadcast st.wake;
-              Mutex.unlock st.lock)
+              with
+              | exception e ->
+                  Mutex.lock st.lock;
+                  if st.failed = None then st.failed <- Some e;
+                  st.in_flight <- st.in_flight - 1;
+                  Condition.broadcast st.wake;
+                  Mutex.unlock st.lock;
+                  running := false
+              | extra_r, extra_d ->
+                  Mutex.lock st.lock;
+                  st.results <- List.rev_append extra_r st.results;
+                  st.dropped <- List.rev_append extra_d st.dropped;
+                  st.in_flight <- st.in_flight - 1;
+                  Condition.broadcast st.wake;
+                  Mutex.unlock st.lock))
     done
   in
   (* Initial tasks beyond capacity run locally on the caller. *)

@@ -39,17 +39,20 @@ type ('task, 'result) outcome = {
       pending task is returned in [dropped], and no further tasks start.
     - [handle t] returns [(result, subtasks)]; subtasks are pushed back
       into the shared deque.
+    - [recover t exn], when given, supervises failures: a raising [handle]
+      is converted into [(result, subtasks)] (e.g. an error-painted region)
+      and the run continues — no other task is affected. Without [recover]
+      (or if [recover] itself raises), the first failure aborts the run and
+      is re-raised on the caller after all domains are joined.
     - [workers = 1] runs everything on the calling domain (no domains are
       spawned); with [n > 1] workers, [n - 1] domains are spawned and the
-      caller participates.
-
-    The first exception raised by any task aborts the run and is re-raised
-    on the caller after all domains are joined. *)
+      caller participates. *)
 val process :
   workers:int ->
   compare:('task -> 'task -> int) ->
   ?stop:(unit -> bool) ->
   ?capacity:int ->
+  ?recover:('task -> exn -> 'result * 'task list) ->
   handle:('task -> 'result * 'task list) ->
   'task list ->
   ('task, 'result) outcome

@@ -1,0 +1,69 @@
+type kind = Raise | Nan | Timeout
+
+type plan = { seed : int64; rate : float; kinds : kind list }
+
+exception Injected of string
+
+let default_kinds = [ Raise; Nan; Timeout ]
+
+let clamp_rate r = if r < 0.0 then 0.0 else if r > 1.0 then 1.0 else r
+
+let make ?(kinds = default_kinds) ~seed ~rate () =
+  {
+    seed = Int64.of_int seed;
+    rate = clamp_rate rate;
+    kinds = (if kinds = [] then default_kinds else kinds);
+  }
+
+let default_seed = 0x5eed
+
+let of_env () =
+  match Sys.getenv_opt "XCV_FAULT_RATE" with
+  | None -> None
+  | Some s -> (
+      match float_of_string_opt s with
+      | None -> None
+      | Some r when r <= 0.0 -> None
+      | Some r ->
+          let seed =
+            match Sys.getenv_opt "XCV_FAULT_SEED" with
+            | Some s -> (
+                match int_of_string_opt s with
+                | Some n -> n
+                | None -> default_seed)
+            | None -> default_seed
+          in
+          Some (make ~seed ~rate:r ()))
+
+(* splitmix64 finalizer: a full-avalanche bijection on 64 bits. *)
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let key_of floats =
+  List.fold_left
+    (fun acc f -> mix (Int64.logxor acc (Int64.bits_of_float f)))
+    0x9e3779b97f4a7c15L floats
+
+(* The top 53 bits of the hash as a uniform draw in [0, 1). *)
+let unit_float h =
+  Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53
+
+let decide plan ~attempt ~key =
+  if plan.rate <= 0.0 then None
+  else begin
+    let h =
+      mix
+        (Int64.logxor plan.seed
+           (mix (Int64.logxor key (mix (Int64.of_int attempt)))))
+    in
+    if unit_float h >= plan.rate then None
+    else
+      let n = List.length plan.kinds in
+      let i = Int64.to_int (Int64.rem (Int64.shift_right_logical (mix h) 1) (Int64.of_int n)) in
+      Some (List.nth plan.kinds i)
+  end
+
+let kind_name = function Raise -> "raise" | Nan -> "nan" | Timeout -> "timeout"

@@ -1,0 +1,58 @@
+(** Deterministic fault injection for solver calls.
+
+    The resilience layer (error isolation, retry with fuel escalation,
+    checkpoint/resume) needs a test substrate that makes solver calls fail
+    on demand, repeatably, and independently of scheduling. This module
+    provides it: a {e plan} (seed, rate, enabled kinds) and a pure decision
+    function keyed on a caller-supplied identity (the solver hashes the box
+    bounds) plus the retry attempt number.
+
+    Because the decision is a pure function of [(seed, key, attempt)] — no
+    shared mutable PRNG state — the same campaign faults the same boxes at
+    every worker count, which is what lets the test suite demand that paint
+    logs under fault injection stay deterministic. Including the attempt
+    number means a retry of a faulted call re-rolls the dice, so bounded
+    retry policies can be shown to recover.
+
+    The environment hook: [XCV_FAULT_RATE] (a probability in [0, 1];
+    unset or 0 disables injection) and [XCV_FAULT_SEED] (an integer;
+    defaults to a fixed constant) configure the plan picked up by
+    {!Icp.default_config}, so any campaign — CLI, tests, benches — can be
+    run under faults without code changes. *)
+
+type kind =
+  | Raise  (** the solver call raises {!Injected} *)
+  | Nan  (** the solver returns a δ-sat model whose coordinates are NaN *)
+  | Timeout  (** the solver reports fuel exhaustion without doing work *)
+
+type plan = {
+  seed : int64;
+  rate : float;  (** per-call fault probability, clamped to [0, 1] *)
+  kinds : kind list;  (** non-empty; the faulted call's kind is hashed *)
+}
+
+(** Raised by a solver call the plan decided to fault with {!Raise}. *)
+exception Injected of string
+
+(** All three kinds — what {!of_env} enables. *)
+val default_kinds : kind list
+
+(** [make ~seed ~rate ()] builds a plan with all (or the given) kinds. *)
+val make : ?kinds:kind list -> seed:int -> rate:float -> unit -> plan
+
+(** The seed used when [XCV_FAULT_SEED] is unset. *)
+val default_seed : int
+
+(** The [XCV_FAULT_RATE] / [XCV_FAULT_SEED] hook; [None] when the rate is
+    unset, unparsable, or not positive. *)
+val of_env : unit -> plan option
+
+(** [key_of floats] folds a list of floats (e.g. box bounds) into a stable
+    64-bit identity, bit-exact in the inputs. *)
+val key_of : float list -> int64
+
+(** [decide plan ~attempt ~key] — [Some kind] if this (call, attempt) is to
+    be faulted. Pure: same plan, key and attempt always decide alike. *)
+val decide : plan -> attempt:int -> key:int64 -> kind option
+
+val kind_name : kind -> string

@@ -16,12 +16,30 @@ type config = {
   fuel : int;
   contractor_rounds : int;
   sample_check : bool;
+  faults : Fault.plan option;
 }
 
 let default_config =
-  { delta = 1e-3; fuel = 5_000; contractor_rounds = 4; sample_check = true }
+  {
+    delta = 1e-3;
+    fuel = 5_000;
+    contractor_rounds = 4;
+    sample_check = true;
+    faults = Fault.of_env ();
+  }
 
-let solve ?(contractors = []) cfg box formula =
+(* A stable identity for a solver call: the box bounds, bit-exact. Fault
+   decisions keyed on it are independent of scheduling order, so injected
+   failures hit the same boxes at every worker count. *)
+let fault_key box =
+  Fault.key_of
+    (List.concat_map
+       (fun v ->
+         let iv = Box.get box v in
+         [ Interval.inf iv; Interval.sup iv ])
+       (Box.vars box))
+
+let solve_real ~contractors cfg box formula =
   let expansions = ref 0 and prunes = ref 0 and max_depth = ref 0 in
   let hc4 = Hc4.counters () in
   let stats () =
@@ -95,6 +113,30 @@ let solve ?(contractors = []) cfg box formula =
         end
   in
   loop [ (box, 0) ]
+
+let zero_stats =
+  { expansions = 0; prunes = 0; max_depth = 0; revise_calls = 0; sweeps = 0 }
+
+let solve ?(contractors = []) ?(attempt = 0) cfg box formula =
+  let injected =
+    match cfg.faults with
+    | None -> None
+    | Some plan -> Fault.decide plan ~attempt ~key:(fault_key box)
+  in
+  match injected with
+  | Some Fault.Raise ->
+      raise
+        (Fault.Injected
+           (Printf.sprintf "injected solver fault (key %Lx, attempt %d)"
+              (fault_key box) attempt))
+  | Some Fault.Nan ->
+      (* An evaluation gone NaN: the solver hands back an uncertified model
+         with undefined coordinates, which the caller's valid(x) re-check
+         rejects — Algorithm 1's inconclusive outcome. *)
+      let model = List.map (fun v -> (v, Float.nan)) (Box.vars box) in
+      (Sat { model; certified = false }, zero_stats)
+  | Some Fault.Timeout -> (Timeout, zero_stats)
+  | None -> solve_real ~contractors cfg box formula
 
 let pp_verdict ppf = function
   | Unsat -> Format.pp_print_string ppf "unsat"

@@ -40,16 +40,30 @@ type config = {
   fuel : int;  (** maximum box expansions before {!Timeout} *)
   contractor_rounds : int;  (** HC4 sweeps per expansion *)
   sample_check : bool;  (** probe box midpoints in float arithmetic *)
+  faults : Fault.plan option;
+      (** deterministic fault injection ({!Fault}); [default_config] picks
+          this up from the [XCV_FAULT_RATE] / [XCV_FAULT_SEED] environment
+          hook, [None] otherwise *)
 }
 
 val default_config : config
 
-(** [solve ?contractors cfg box formula] decides the conjunction. Optional
-    [contractors] are extra pipeline stages applied after each HC4
+(** The stable 64-bit identity of a solver call on this box (a fold of its
+    bounds, bit-exact) — the key {!Fault.decide} is given. Exposed so tests
+    can predict which boxes a plan will fault. *)
+val fault_key : Box.t -> int64
+
+(** [solve ?contractors ?attempt cfg box formula] decides the conjunction.
+    Optional [contractors] are extra pipeline stages applied after each HC4
     contraction (e.g. {!Taylor.contractor}); each must be sound (never
-    discard a satisfying point). *)
+    discard a satisfying point). [attempt] (default 0) is the caller's retry
+    ordinal; it only affects fault injection — a retried call re-rolls the
+    fault dice. When [cfg.faults] decides to fault this call, the call
+    raises {!Fault.Injected}, returns a NaN-coordinate δ-sat model, or
+    reports {!Timeout} without consuming fuel, by the drawn kind. *)
 val solve :
   ?contractors:(Box.t -> Hc4.result) list ->
+  ?attempt:int ->
   config -> Box.t -> Form.t -> verdict * stats
 
 val pp_verdict : Format.formatter -> verdict -> unit

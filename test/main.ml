@@ -26,6 +26,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("kohn-sham", Test_ks.suite);
       ("serialize", Test_serialize.suite);
+      ("resilience", Test_resilience.suite);
       ("trace", Test_trace.suite);
       ("mutate", Test_mutate.suite);
       ("codegen", Test_codegen.suite);

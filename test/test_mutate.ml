@@ -15,6 +15,7 @@ let config =
     deadline_seconds = Some 30.0;
     workers = test_workers;
     use_taylor = false;
+    retry = { Verify.max_retries = 2; fuel_growth = 2 };
   }
 
 let refuted o = Outcome.classify o = Outcome.Refuted

@@ -30,6 +30,44 @@ let test_exception_propagation () =
            (fun x -> if x = 37 then raise Boom else x)
            (List.init 100 Fun.id)))
 
+let test_map_result_collects_all () =
+  (* unlike [map], every item is attempted and every failure reported *)
+  let results =
+    Pool.map_result ~workers:4
+      (fun x -> if x mod 10 = 7 then raise Boom else x * 2)
+      (List.init 50 Fun.id)
+  in
+  Alcotest.(check int) "one result per item" 50 (List.length results);
+  let oks = List.filter_map (function Ok v -> Some v | Error _ -> None) results
+  and errs = List.filter (function Error _ -> true | Ok _ -> false) results in
+  Alcotest.(check int) "all five failures reported" 5 (List.length errs);
+  Alcotest.(check (list int)) "successes in order, values intact"
+    (List.filter_map
+       (fun x -> if x mod 10 = 7 then None else Some (x * 2))
+       (List.init 50 Fun.id))
+    oks
+
+let test_map_stops_claiming_after_failure () =
+  (* After one worker fails, workers that observe the flag must not claim
+     further items. With a failure on the first item and a barrier-free
+     counter we can only assert an upper bound sanity check: strictly fewer
+     than all items ran. *)
+  let ran = Atomic.make 0 in
+  (try
+     ignore
+       (Pool.map ~workers:2
+          (fun x ->
+            ignore (Atomic.fetch_and_add ran 1);
+            if x = 0 then raise Boom;
+            Domain.cpu_relax ();
+            x)
+          (List.init 10_000 Fun.id))
+   with Boom -> ());
+  check_true
+    (Printf.sprintf "fail-fast skipped most of the list (ran %d)"
+       (Atomic.get ran))
+    (Atomic.get ran < 10_000)
+
 let test_iter_effects () =
   let total = Atomic.make 0 in
   Pool.iter ~workers:4 (fun x -> ignore (Atomic.fetch_and_add total x))
@@ -125,6 +163,47 @@ let test_worklist_exception_propagation () =
            ~handle:(fun x -> if x = 17 then raise Kaboom else (Some x, []))
            (List.init 64 Fun.id)))
 
+let test_worklist_recover_isolates () =
+  (* With a recover callback, a failing task becomes a result and every
+     other task still runs — at any worker count. *)
+  List.iter
+    (fun workers ->
+      let { Worklist.results; dropped } =
+        Worklist.process ~workers ~compare:Int.compare
+          ~recover:(fun x _ -> (-x, []))
+          ~handle:(fun x -> if x mod 7 = 3 then raise Kaboom else (x, []))
+          (List.init 64 Fun.id)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "all tasks accounted for at workers=%d" workers)
+        64 (List.length results);
+      Alcotest.(check int) "nothing dropped" 0 (List.length dropped);
+      Alcotest.(check int) "failures routed through recover" 9
+        (List.length (List.filter (fun r -> r < 0) results)))
+    [ 1; 4 ]
+
+let test_worklist_recover_spawns_children () =
+  (* Recovery can reinject subtasks (the verifier splits errored boxes). *)
+  let { Worklist.results; _ } =
+    Worklist.process ~workers:2 ~compare:Int.compare
+      ~recover:(fun x _ -> (0, if x < 8 then [ x + 100 ] else []))
+      ~handle:(fun x ->
+        if x < 100 then raise Kaboom else (x, []))
+      [ 1; 2 ]
+  in
+  Alcotest.(check int) "recovered children processed" 4 (List.length results);
+  Alcotest.(check int) "children ran the normal path" 2
+    (List.length (List.filter (fun r -> r > 100) results))
+
+let test_worklist_recover_raising_aborts () =
+  (* A recover that itself raises falls back to fail-fast. *)
+  Alcotest.check_raises "recover failure re-raised" Kaboom (fun () ->
+      ignore
+        (Worklist.process ~workers:2 ~compare:Int.compare
+           ~recover:(fun _ e -> raise e)
+           ~handle:(fun x -> if x = 5 then raise Kaboom else (x, []))
+           (List.init 16 Fun.id)))
+
 (* ---- worker-count equivalence (QCheck) ------------------------------ *)
 
 (* The scheduler's contract: the outcome is a pure function of the problem,
@@ -145,6 +224,7 @@ let equiv_config workers =
     deadline_seconds = None;
     workers;
     use_taylor = false;
+    retry = Verify.no_retry;
   }
 
 let region_fingerprint (r : Outcome.region) =
@@ -191,6 +271,8 @@ let suite =
     case "empty and singleton" test_empty_and_singleton;
     case "more workers than items" test_more_workers_than_items;
     case "exception propagation" test_exception_propagation;
+    case "map_result collects all failures" test_map_result_collects_all;
+    case "map stops claiming after failure" test_map_stops_claiming_after_failure;
     case "iter side effects" test_iter_effects;
     case "default workers" test_default_workers;
     case "parallel solver calls" test_solver_calls_in_parallel;
@@ -198,5 +280,8 @@ let suite =
     case "worklist spawns children" test_worklist_spawns_children;
     case "worklist stop drains remainder" test_worklist_stop_drains;
     case "worklist exception propagation" test_worklist_exception_propagation;
+    case "worklist recover isolates failures" test_worklist_recover_isolates;
+    case "worklist recover spawns children" test_worklist_recover_spawns_children;
+    case "worklist raising recover aborts" test_worklist_recover_raising_aborts;
     worklist_equivalence;
   ]

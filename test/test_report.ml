@@ -8,6 +8,7 @@ let fast_config =
     deadline_seconds = Some 15.0;
     workers = 1;
     use_taylor = false;
+    retry = Verify.no_retry;
   }
 
 let outcome dfa cond =

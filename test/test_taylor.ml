@@ -120,6 +120,7 @@ let test_verify_integration () =
       deadline_seconds = Some 20.0;
       workers = 1;
       use_taylor = true;
+      retry = Verify.no_retry;
     }
   in
   match Xcverifier.verify ~config ~dfa:"pbe" ~condition:"ec1" () with

@@ -26,6 +26,7 @@ let config workers =
     deadline_seconds = None;
     workers;
     use_taylor = false;
+    retry = Verify.no_retry;
   }
 
 let traced_run workers =

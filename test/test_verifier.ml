@@ -8,6 +8,7 @@ let fast_config =
     deadline_seconds = Some 20.0;
     workers = 1;
     use_taylor = false;
+    retry = Verify.no_retry;
   }
 
 let run name cond = Xcverifier.verify ~config:fast_config ~dfa:name ~condition:cond ()

@@ -8,6 +8,7 @@ let config =
     deadline_seconds = Some 15.0;
     workers = 1;
     use_taylor = false;
+    retry = Verify.no_retry;
   }
 
 let lyp_ec1 () =
