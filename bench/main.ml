@@ -12,6 +12,7 @@
      dune exec bench/main.exe ablation      -- Sec. VI-A + design ablations
      dune exec bench/main.exe scheduler     -- worklist scaling + trace check
      dune exec bench/main.exe micro         -- Bechamel micro-benchmarks
+     dune exec bench/main.exe hc4           -- tree HC4 vs compiled interval tape
 
    Environment knobs: XCV_BENCH_FUEL (solver fuel per call, default 300),
    XCV_BENCH_DEADLINE (seconds per pair, default 15). The absolute wall-clock
@@ -44,6 +45,7 @@ let campaign_config =
     deadline_seconds = Some bench_deadline;
     workers = 1;
     use_taylor = false;
+    use_tape = true;
     retry = Verify.no_retry;
   }
 
@@ -584,6 +586,99 @@ let micro () =
     acc_b (dt /. dt_b)
 
 (* ------------------------------------------------------------------ *)
+(* HC4 contraction: tree walker vs compiled interval tape              *)
+(* ------------------------------------------------------------------ *)
+
+let hc4_bench () =
+  section "HC4: tree-walking revise vs compiled interval tape";
+  let open Bechamel in
+  let open Toolkit in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let measure test =
+    List.map
+      (fun elt ->
+        let raw = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
+        let est = Analyze.one ols Instance.monotonic_clock raw in
+        let ns =
+          match Analyze.OLS.estimates est with
+          | Some [ x ] -> x
+          | _ -> Float.nan
+        in
+        Printf.printf "%-40s %12.1f ns/run\n%!" (Test.Elt.name elt) ns;
+        ns)
+      (Test.elements test)
+    |> List.hd
+  in
+  let speedup label tree tape =
+    Printf.printf "%-40s %12.2fx\n\n%!" (label ^ " speedup") (tree /. tape)
+  in
+  List.iter
+    (fun (dfa_name, cond) ->
+      let dfa = Registry.find dfa_name in
+      let problem = Option.get (Encoder.encode dfa cond) in
+      let formula = problem.Encoder.negated in
+      let domain = problem.Encoder.domain in
+      let compiled = Hc4.compile ~vars:(Box.vars domain) formula in
+      let atom = List.hd formula in
+      let prog = Itape.compile ~vars:(Box.vars domain) atom in
+      (* a mid-search box: narrow enough that the atom is undecided, so the
+         backward pass and read-off actually run *)
+      let box = fst (Box.split (fst (Box.split domain))) in
+      Printf.printf "--- %s / %s (%d tape registers) ---\n" dfa_name
+        (Conditions.name cond) (Itape.length prog);
+      let t_revise =
+        measure
+          (Test.make ~name:"revise (tree walk)"
+             (Staged.stage (fun () -> Hc4.revise box atom)))
+      in
+      let v_revise =
+        measure
+          (Test.make ~name:"revise (interval tape)"
+             (Staged.stage (fun () -> Itape.revise prog box)))
+      in
+      speedup "revise" t_revise v_revise;
+      let t_contract =
+        measure
+          (Test.make ~name:"contract x4 (tree walk)"
+             (Staged.stage (fun () -> Hc4.contract box formula ~rounds:4)))
+      in
+      let v_contract =
+        measure
+          (Test.make ~name:"contract x4 (tape + agenda)"
+             (Staged.stage (fun () ->
+                  Hc4.contract_tape compiled box ~rounds:4)))
+      in
+      speedup "contract" t_contract v_contract;
+      let solver = { Icp.default_config with fuel = 50; faults = None } in
+      let t_solve =
+        measure
+          (Test.make ~name:"icp 50-expansion (tree walk)"
+             (Staged.stage (fun () -> Icp.solve solver domain formula)))
+      in
+      let v_solve =
+        measure
+          (Test.make
+             ~name:"icp 50-expansion (interval tape)"
+             (Staged.stage (fun () ->
+                  Icp.solve
+                    { solver with Icp.tape = Some compiled }
+                    domain formula)))
+      in
+      speedup "solve" t_solve v_solve)
+    [
+      ("pbe", Conditions.Ec1);
+      ("pbe", Conditions.Ec7);
+      ("lyp", Conditions.Ec1);
+      ("scan", Conditions.Ec1);
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let targets =
@@ -591,7 +686,7 @@ let () =
       ("table1", table1); ("table2", table2); ("fig1", fig1); ("fig2", fig2);
       ("boundaries", boundaries); ("ablation", ablation);
       ("taylor", ablation_taylor); ("extensions", extensions);
-      ("scheduler", scheduler); ("micro", micro);
+      ("scheduler", scheduler); ("micro", micro); ("hc4", hc4_bench);
     ]
   in
   let args = Array.to_list Sys.argv |> List.tl in

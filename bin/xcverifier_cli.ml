@@ -157,6 +157,7 @@ let config_of ?(use_taylor = false) ?(workers = 1) ?(retries = 0)
     deadline_seconds = deadline;
     workers = (if workers <= 0 then Pool.default_workers () else workers);
     use_taylor;
+    use_tape = true;
     retry = { Verify.max_retries = retries; fuel_growth };
   }
 

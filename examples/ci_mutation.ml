@@ -22,6 +22,7 @@ let config =
     deadline_seconds = Some 20.0;
     workers = 1;
     use_taylor = false;
+    use_tape = true;
     retry = Verify.no_retry;
   }
 

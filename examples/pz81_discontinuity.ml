@@ -64,6 +64,7 @@ let () =
       deadline_seconds = Some 10.0;
       workers = 1;
       use_taylor = false;
+      use_tape = true;
       retry = Verify.no_retry;
     }
   in

@@ -77,6 +77,7 @@ let () =
       deadline_seconds = Some 25.0;
       workers = 1;
       use_taylor = false;
+      use_tape = true;
       retry = Verify.no_retry;
     }
   in

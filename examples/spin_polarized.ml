@@ -48,6 +48,7 @@ let () =
       deadline_seconds = Some 60.0;
       workers = 1;
       use_taylor = false;
+      use_tape = true;
       retry = Verify.no_retry;
     }
   in

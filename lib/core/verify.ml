@@ -8,6 +8,7 @@ type config = {
   deadline_seconds : float option;
   workers : int;
   use_taylor : bool;
+  use_tape : bool;
   retry : retry_policy;
 }
 
@@ -19,6 +20,7 @@ let default_config =
     deadline_seconds = None;
     workers = 1;
     use_taylor = false;
+    use_tape = true;
     retry = no_retry;
   }
 
@@ -30,6 +32,7 @@ let quick_config =
     deadline_seconds = Some 30.0;
     workers = 1;
     use_taylor = false;
+    use_tape = true;
     retry = no_retry;
   }
 
@@ -80,6 +83,17 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
     if config.use_taylor then
       List.map (fun a -> Taylor.contractor (Taylor.prepare a)) negated
     else []
+  in
+  (* Compile the negated formula once per (DFA, condition) pair — not per
+     box — and hand the tape to every solver call through its config. The
+     compiled form is immutable and shared by all worker domains. *)
+  let solver_config =
+    if config.use_tape then
+      {
+        config.solver with
+        Icp.tape = Some (Hc4.compile ~vars:(Box.vars domain) negated);
+      }
+    else config.solver
   in
   let started = Unix.gettimeofday () in
   let deadline =
@@ -166,9 +180,9 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
         Atomic.incr solver_calls;
         let scfg =
           {
-            config.solver with
+            solver_config with
             Icp.fuel =
-              escalated_fuel config.solver.Icp.fuel config.retry.fuel_growth k;
+              escalated_fuel solver_config.Icp.fuel config.retry.fuel_growth k;
           }
         in
         match Icp.solve ~contractors ~attempt:k scfg t.box negated with

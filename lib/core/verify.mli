@@ -55,6 +55,12 @@ type config = {
       (** add the mean-value-form contractor ({!Taylor}) to the solver's
           contraction pipeline; helps on smooth conditions once boxes are
           small, costs one symbolic gradient per pair up front *)
+  use_tape : bool;
+      (** compile the negated condition once per pair into an interval tape
+          ({!Hc4.compile}) and have every solver call replay it instead of
+          walking the expression trees — bit-identical paint logs, much
+          cheaper contraction. On by default; turn off to run the reference
+          tree-walking path (the equivalence tests do). *)
   retry : retry_policy;
 }
 

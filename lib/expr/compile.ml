@@ -13,6 +13,19 @@ type instr =
 
 type t = { instrs : instr array; nvars : int }
 
+(* The single scalar dispatch table for primitive unary functions, shared by
+   the scalar and batch interpreters (and anyone else lowering [unop]s to
+   floats) so the two cannot disagree on a primitive's meaning. *)
+let scalar_of_unop = function
+  | Exp -> Stdlib.exp
+  | Log -> Stdlib.log
+  | Sin -> Stdlib.sin
+  | Cos -> Stdlib.cos
+  | Tanh -> Stdlib.tanh
+  | Atan -> Stdlib.atan
+  | Abs -> Float.abs
+  | Lambert_w -> Lambert.w0
+
 let compile ~vars e =
   let var_slot v =
     let rec find i = function
@@ -117,17 +130,7 @@ let run_batch tape args out =
           done
       | Unop (op, a) ->
           let ra = regs.(a) in
-          let f =
-            match op with
-            | Exp -> Stdlib.exp
-            | Log -> Stdlib.log
-            | Sin -> Stdlib.sin
-            | Cos -> Stdlib.cos
-            | Tanh -> Stdlib.tanh
-            | Atan -> Stdlib.atan
-            | Abs -> Float.abs
-            | Lambert_w -> Lambert.w0
-          in
+          let f = scalar_of_unop op in
           for k = 0 to n - 1 do
             dst.(k) <- f ra.(k)
           done
@@ -160,17 +163,7 @@ let run tape args =
       | Mul2 (a, b) -> regs.(a) *. regs.(b)
       | Pow2 (a, b) -> Eval.pow_float regs.(a) regs.(b)
       | Powi (a, k) -> Eval.pow_float regs.(a) (float_of_int k)
-      | Unop (op, a) -> (
-          let v = regs.(a) in
-          match op with
-          | Exp -> Stdlib.exp v
-          | Log -> Stdlib.log v
-          | Sin -> Stdlib.sin v
-          | Cos -> Stdlib.cos v
-          | Tanh -> Stdlib.tanh v
-          | Atan -> Stdlib.atan v
-          | Abs -> Float.abs v
-          | Lambert_w -> Lambert.w0 v)
+      | Unop (op, a) -> scalar_of_unop op regs.(a)
       | Select (branches, default) ->
           let rec pick = function
             | [] -> regs.(default)

@@ -13,6 +13,12 @@
 
 type t
 
+(** The scalar meaning of a primitive unary operation — the single dispatch
+    table shared by {!run}, {!run_batch} and {!Eval.eval}-compatible
+    lowerings, so independent interpreters cannot disagree on a
+    primitive. *)
+val scalar_of_unop : Expr.unop -> float -> float
+
 (** [compile ~vars e] compiles [e]; every free variable of [e] must appear in
     [vars]. The order of [vars] fixes the argument order of {!run}.
     @raise Invalid_argument if a free variable is missing from [vars]. *)

@@ -58,6 +58,17 @@ let join a b =
 let split i =
   if is_empty i || is_point i then invalid_arg "Interval.split";
   let m = midpoint i in
+  (* For ulp-wide intervals the midpoint rounds onto an endpoint, which
+     would hand back a child identical to the parent and never terminate a
+     splitting worklist. Nudge one ulp inward; if no interior float exists
+     the interval is not splittable at all. *)
+  let m =
+    if m <= i.lo then Float.succ i.lo
+    else if m >= i.hi then Float.pred i.hi
+    else m
+  in
+  if not (i.lo < m && m < i.hi) then
+    invalid_arg "Interval.split: no float strictly inside";
   ({ lo = i.lo; hi = m }, { lo = m; hi = i.hi })
 
 (* ------------------------------------------------------------------ *)
@@ -122,6 +133,16 @@ let div a b =
       (lo_down (Float.min (Float.min q1 q2) (Float.min q3 q4)))
       (hi_up (Float.max (Float.max q1 q2) (Float.max q3 q4)))
   end
+
+(* Relational division, the projection the HC4 backward pass for products
+   needs: [div_rel a b] over-approximates { x | exists y in b, x*y in a }.
+   It differs from {!div} — the hull of pointwise quotients — exactly when
+   [0] is in both arguments: x*0 = 0 holds for *every* x, so a zero divisor
+   is no constraint at all rather than a contradiction. When [0] is not in
+   [a], a zero divisor really is infeasible and {!div}'s answer (empty for
+   b = {0}) is the right one. *)
+let div_rel a b =
+  if mem 0.0 a && mem 0.0 b then top else div a b
 
 let inv a = div one a
 

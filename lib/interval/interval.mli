@@ -70,8 +70,11 @@ val meet : t -> t -> t
 (** [join] is the interval hull of the union. *)
 val join : t -> t -> t
 
-(** [split i] bisects at the midpoint.
-    @raise Invalid_argument on empty or degenerate intervals. *)
+(** [split i] bisects at the midpoint. Both children are strictly narrower
+    than [i] (the midpoint is nudged one ulp inward when rounding lands it on
+    an endpoint), so splitting worklists always make progress.
+    @raise Invalid_argument on empty or degenerate intervals, and on
+    ulp-wide intervals with no float strictly between the bounds. *)
 val split : t -> t * t
 
 (** {1 Arithmetic} *)
@@ -81,8 +84,18 @@ val add : t -> t -> t
 val sub : t -> t -> t
 val mul : t -> t -> t
 
-(** [div a b] is the interval hull of [{ x/y | x in a, y in b, y <> 0 }]. *)
+(** [div a b] is the interval hull of [{ x/y | x in a, y in b, y <> 0 }].
+    Note that this is {e value} division: [div a {0}] is {!empty} because no
+    quotient by a non-zero divisor exists. Backward constraint propagation
+    must use {!div_rel} instead. *)
 val div : t -> t -> t
+
+(** [div_rel a b] over-approximates the relational projection
+    [{ x | exists y in b, x*y in a }] — what the HC4 backward pass for a
+    product needs. When [0] is in both [a] and [b] the result is {!top}
+    ([x * 0 = 0] holds for every [x]); otherwise it agrees with {!div}, so
+    [0] not in [a] with [b = {0}] is still (correctly) infeasible. *)
+val div_rel : t -> t -> t
 
 val abs : t -> t
 

@@ -54,12 +54,28 @@ let atan i =
 
 let two_pi = 8.0 *. Stdlib.atan 1.0
 
+(* Strictly-inside lower bounds on pi/2 and pi: two ulps below the
+   round-to-nearest values, so [[-half_pi_lo, half_pi_lo]] is certainly
+   contained in the principal monotone branch of sin whatever way libm's
+   atan rounded. The HC4 backward guards for Sin/Cos use these. *)
+let half_pi_lo = down2 (2.0 *. Stdlib.atan 1.0)
+let pi_lo = down2 (4.0 *. Stdlib.atan 1.0)
+
+(* Beyond this magnitude the critical-point test below reconstructs
+   [k * two_pi] with an error (~ |x| ulps of two_pi, i.e. about one ulp of x)
+   that can exceed both its fixed 1e-9 slack and the distance of a true
+   extremum from the interval's edge, so an interior maximum can be missed
+   entirely. 2^20 leaves the reconstruction error (~ 6e-11) comfortably
+   under the slack. *)
+let trig_arg_cutoff = 1048576.0 (* 2^20 *)
+
 (* Conservative: if the interval spans at least a full period (with slack for
    the argument reduction error) return [-1, 1]; otherwise evaluate endpoints
    and check whether a critical point (odd multiple of pi/2) lies inside. *)
 let trig f critical_shift i =
   if Interval.is_empty i then Interval.empty
-  else if Interval.width i >= two_pi then Interval.make (-1.0) 1.0
+  else if Interval.width i >= two_pi || Interval.mag i > trig_arg_cutoff then
+    Interval.make (-1.0) 1.0
   else begin
     let a = Interval.inf i and b = Interval.sup i in
     let fa = f a and fb = f b in
@@ -132,17 +148,25 @@ let certify_hi x =
     end
   end
 
+(* A NaN certification means the numeric kernel failed (e.g. the
+   branch-point series takes sqrt of a tiny negative), not that the image is
+   empty. The sound fallback differs per side: -1.0 (the infimum of W0's
+   range) for the lower bound, +inf for the upper — falling back to -1.0 on
+   the upper side as well would invert the bounds and turn a nonempty image
+   into the empty interval. *)
+let certified_w_bounds ~lo ~hi =
+  let lo = if Float.is_nan lo then -1.0 else lo in
+  let hi = if Float.is_nan hi then Float.infinity else hi in
+  Interval.of_bounds lo hi
+
 let lambert_w i =
   let dom = Interval.make branch_point Float.infinity in
   let i = Interval.meet i dom in
   if Interval.is_empty i then Interval.empty
-  else begin
-    let lo = certify_lo (Interval.inf i) in
-    let lo = if Float.is_nan lo then -1.0 else lo in
-    let hi = certify_hi (Interval.sup i) in
-    let hi = if Float.is_nan hi then -1.0 else hi in
-    Interval.of_bounds lo hi
-  end
+  else
+    certified_w_bounds
+      ~lo:(certify_lo (Interval.inf i))
+      ~hi:(certify_hi (Interval.sup i))
 
 (* ------------------------------------------------------------------ *)
 (* Inverses                                                            *)

@@ -15,10 +15,29 @@ val cos : Interval.t -> Interval.t
 val tanh : Interval.t -> Interval.t
 val atan : Interval.t -> Interval.t
 
+(** Strictly-inside lower bounds on pi/2 and pi (two ulps below
+    round-to-nearest), for guards that must certify containment in a
+    principal monotone branch regardless of libm rounding direction. *)
+val half_pi_lo : float
+
+val pi_lo : float
+
+(** Above this argument magnitude (2^20) {!sin} and {!cos} give up on
+    quadrant analysis and return [[-1, 1]]: the critical-point containment
+    test reconstructs [k*2pi] with error proportional to the argument, which
+    would otherwise exceed its slack and silently drop interior extrema. *)
+val trig_arg_cutoff : float
+
 (** Principal branch [W0]; domain [[-1/e, inf)]. The numeric kernel
     {!Lambert.w0} is certified post-hoc: the returned bounds are widened
     until the defining residual [w e^w - x] brackets zero. *)
 val lambert_w : Interval.t -> Interval.t
+
+(** The NaN-robust bound policy of {!lambert_w}, exposed for tests: a NaN
+    certification falls back to the sound extreme for its side ([-1.0] for
+    the lower bound, [+inf] for the upper), never producing an inverted
+    (empty) interval from a failed kernel evaluation. *)
+val certified_w_bounds : lo:float -> hi:float -> Interval.t
 
 (** {1 Inverses for backward (HC4) propagation} *)
 

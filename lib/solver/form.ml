@@ -33,14 +33,13 @@ let holds_at env a =
 
 let all_hold_at env f = List.for_all (holds_at env) f
 
-let status_on box a =
-  let i = Ieval.eval (Box.to_env box) a.expr in
+let status_of_interval i rel =
   if Interval.is_empty i then
     (* The expression is nowhere defined on this box: no point can satisfy
        (or falsify) the atom — treat as failing everywhere for SAT search. *)
     `Fails
   else
-    match a.rel with
+    match rel with
     | Le0 ->
         if Interval.certainly_le i 0.0 then `Holds
         else if Interval.certainly_gt i 0.0 then `Fails
@@ -61,6 +60,8 @@ let status_on box a =
         if Interval.is_point i && Interval.inf i = 0.0 then `Holds
         else if not (Interval.mem 0.0 i) then `Fails
         else `Unknown
+
+let status_on box a = status_of_interval (Ieval.eval (Box.to_env box) a.expr) a.rel
 
 let vars f =
   List.concat_map (fun a -> Expr.vars a.expr) f |> List.sort_uniq String.compare

@@ -42,6 +42,13 @@ val all_hold_at : (string * float) list -> t -> bool
     [`Holds] everywhere, [`Fails] everywhere, or [`Unknown]. *)
 val status_on : Box.t -> atom -> [ `Holds | `Fails | `Unknown ]
 
+(** The classification behind {!status_on}, applied to an already-computed
+    enclosure of the atom's expression over the box (an empty enclosure —
+    expression nowhere defined — is [`Fails]). Shared with the compiled-tape
+    evaluation ({!Itape.status_on}) so the two paths cannot drift. *)
+val status_of_interval :
+  Interval.t -> relation -> [ `Holds | `Fails | `Unknown ]
+
 (** [vars f] is the union of variables of all atoms. *)
 val vars : t -> string list
 

@@ -1,15 +1,16 @@
 open Expr
 
-type result = Contracted of Box.t | Infeasible
+type result = Itape.result = Contracted of Box.t | Infeasible
 
 type counters = { mutable revise_calls : int; mutable sweeps : int }
 
 let counters () = { revise_calls = 0; sweeps = 0 }
 
-let target_of_relation = function
-  | Form.Le0 | Form.Lt0 -> Interval.make Float.neg_infinity 0.0
-  | Form.Ge0 | Form.Gt0 -> Interval.make 0.0 Float.infinity
-  | Form.Eq0 -> Interval.zero
+(* The backward machinery (relation targets, power/abs branch inverses) is
+   shared with the compiled-tape replay so the two paths cannot drift. *)
+let target_of_relation = Itape.target_of_relation
+let backward_pow_const = Itape.backward_pow_const
+let backward_abs = Itape.backward_abs
 
 (* Prefix/suffix folds used to compute, for every operand of an n-ary node,
    the combination of all *other* operands in O(n). *)
@@ -25,40 +26,6 @@ let others combine unit xs =
     suffix.(i) <- combine arr.(i) suffix.(i + 1)
   done;
   List.init n (fun i -> combine prefix.(i) suffix.(i + 1))
-
-(* Inverse of y = x^n for integer n: the set { x | x^n in r }, returned as a
-   list of disjoint branches. The caller meets each branch with the child's
-   current domain *before* hulling — intersecting the hull instead would
-   bridge the gap between the positive and negative branches and lose most
-   of the contraction (e.g. x^2 >= 4 on [0, 10] must give [2, 10], not
-   [0, 10]). *)
-let rec backward_pow_int r n =
-  if n = 0 then [ Interval.top ] (* x^0 = 1 constrains x not at all *)
-  else if n < 0 then backward_pow_int (Interval.inv r) (-n)
-  else begin
-    let p = 1.0 /. float_of_int n in
-    let pos = Interval.pow (Interval.meet r Interval.nonneg) p in
-    let neg_src =
-      if n land 1 = 1 then Interval.meet (Interval.neg r) Interval.nonneg
-      else Interval.meet r Interval.nonneg
-    in
-    [ pos; Interval.neg (Interval.pow neg_src p) ]
-  end
-
-let backward_pow_const r p =
-  if Float.is_integer p && Float.abs p <= 1073741823.0 then
-    backward_pow_int r (int_of_float p)
-  else if p = 0.0 then [ Interval.top ]
-  else
-    (* Non-integer exponent: base is >= 0 by domain semantics. *)
-    [ Interval.pow (Interval.meet r Interval.nonneg) (1.0 /. p) ]
-
-let backward_abs r =
-  let r' = Interval.meet r Interval.nonneg in
-  if Interval.is_empty r' then [ Interval.empty ]
-  else [ r'; Interval.neg r' ]
-
-let pi = 4.0 *. Stdlib.atan 1.0
 
 let revise box atom =
   let e = atom.Form.expr in
@@ -158,10 +125,11 @@ let revise box atom =
             in
             List.iter2
               (fun t rest ->
-                (* x * rest = r  =>  x in r / rest, provided rest has no
-                   zero; Interval.div returns top across zero, a no-op. *)
+                (* x * rest = r => x in the relational quotient r / rest:
+                   top when 0 is in both (x * 0 = 0 constrains nothing),
+                   empty when rest = {0} but 0 is not in r. *)
                 if Interval.is_empty rest then ()
-                else tighten t (Interval.div r rest))
+                else tighten t (Interval.div_rel r rest))
               factors rest_prods
         | Pow (b, x) -> (
             match as_const x with
@@ -187,19 +155,20 @@ let revise box atom =
             | Abs -> tighten_branches a (backward_abs r)
             | Lambert_w -> tighten a (Transcend.w_inverse r)
             | Sin ->
-                (* Only invert within the principal monotone branch. *)
+                (* Only invert within a range certainly strictly inside the
+                   principal monotone branch (round-down pi/2). *)
                 let fa = Hashtbl.find fwd a.id in
                 if
                   Interval.is_bounded fa
-                  && Interval.inf fa >= -.pi /. 2.0
-                  && Interval.sup fa <= pi /. 2.0
+                  && Interval.inf fa >= -.Transcend.half_pi_lo
+                  && Interval.sup fa <= Transcend.half_pi_lo
                 then tighten a (Transcend.asin_hull r)
             | Cos ->
                 let fa = Hashtbl.find fwd a.id in
                 if
                   Interval.is_bounded fa
                   && Interval.inf fa >= 0.0
-                  && Interval.sup fa <= pi
+                  && Interval.sup fa <= Transcend.pi_lo
                 then tighten a (Transcend.acos_hull r))
         | Piecewise (branches, default) ->
             (* Propagate into a branch only when it is certainly the one
@@ -274,6 +243,94 @@ let contract ?counters:cnt box formula ~rounds =
             | Contracted box' -> apply box' rest)
       in
       match apply box formula with
+      | Infeasible -> Infeasible
+      | Contracted box' ->
+          if improvement box box' < 0.01 then Contracted box'
+          else sweep box' (k + 1)
+    end
+  in
+  sweep box 0
+
+(* ------------------------------------------------------------------ *)
+(* Compiled formulas and the contraction agenda                        *)
+(* ------------------------------------------------------------------ *)
+
+type compiled = {
+  progs : Itape.t array;
+  incidence : int array array;
+      (* box dimension -> indices of atoms reading it *)
+}
+
+let compile ~vars formula =
+  let progs = Array.of_list (List.map (Itape.compile ~vars) formula) in
+  let nslots = List.length vars in
+  let buckets = Array.make nslots [] in
+  Array.iteri
+    (fun j prog ->
+      Array.iter
+        (fun slot -> buckets.(slot) <- j :: buckets.(slot))
+        (Itape.slots prog))
+    progs;
+  {
+    progs;
+    incidence = Array.map (fun js -> Array.of_list (List.rev js)) buckets;
+  }
+
+let atoms compiled = Array.length compiled.progs
+
+let statuses_on compiled box =
+  Array.to_list
+    (Array.map (fun prog -> Itape.status_on prog box) compiled.progs)
+
+(* Same sweep structure (and hence identical sweep counts, improvement
+   tests and results) as [contract], with an AC-3 style agenda on top: an
+   atom is skipped while it is clean — its last revise changed nothing and
+   none of its variables were contracted since. Skipping is sound *and*
+   result-identical because revise is a deterministic function of the
+   atom's own variable domains: re-running a clean atom would return the
+   box unchanged, which is exactly what the tree path's re-run does. Only
+   [revise_calls] drops. *)
+let contract_tape ?counters:cnt compiled box ~rounds =
+  let count_revise () =
+    match cnt with Some c -> c.revise_calls <- c.revise_calls + 1 | None -> ()
+  in
+  let count_sweep () =
+    match cnt with Some c -> c.sweeps <- c.sweeps + 1 | None -> ()
+  in
+  let nprogs = Array.length compiled.progs in
+  let dirty = Array.make nprogs true in
+  let rec sweep box k =
+    if k >= rounds then Contracted box
+    else begin
+      count_sweep ();
+      let rec apply box j =
+        if j >= nprogs then Contracted box
+        else if not dirty.(j) then apply box (j + 1)
+        else begin
+          count_revise ();
+          let prog = compiled.progs.(j) in
+          match Itape.revise prog box with
+          | Itape.Infeasible -> Infeasible
+          | Itape.Contracted box' ->
+              dirty.(j) <- false;
+              (* Re-dirty every atom touching a contracted dimension —
+                 including this one, when it contracted its own variables
+                 (revise is not idempotent until it reaches a fixpoint). *)
+              Array.iter
+                (fun slot ->
+                  if
+                    not
+                      (Interval.equal (Box.get_idx box slot)
+                         (Box.get_idx box' slot))
+                  then
+                    Array.iter
+                      (fun j' -> dirty.(j') <- true)
+                      compiled.incidence.(slot))
+                (Itape.slots prog);
+              apply box' (j + 1)
+        end
+      in
+      match apply box 0 with
       | Infeasible -> Infeasible
       | Contracted box' ->
           if improvement box box' < 0.01 then Contracted box'

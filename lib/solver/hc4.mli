@@ -17,7 +17,7 @@
     the atom. An empty requirement anywhere proves the atom unsatisfiable on
     the box. *)
 
-type result = Contracted of Box.t | Infeasible
+type result = Itape.result = Contracted of Box.t | Infeasible
 
 (** Telemetry cell for the contraction pipeline: how many {!revise} calls
     and full sweeps a caller (usually one {!Icp.solve}) consumed. The
@@ -36,3 +36,36 @@ val revise : Box.t -> Form.atom -> result
     sweep improves no dimension by more than 1%. When [counters] is given,
     revise calls and sweeps are accumulated into it. *)
 val contract : ?counters:counters -> Box.t -> Form.t -> rounds:int -> result
+
+(** {1 Compiled formulas}
+
+    The per-campaign fast path: compile each atom once into an interval
+    tape ({!Itape}), then contract every box of the search against the
+    compiled form. Results are bit-identical to {!contract}; only the cost
+    per call changes. *)
+
+(** A formula compiled against a fixed variable order, plus the
+    variable-to-atom incidence map driving the contraction agenda.
+    Immutable, and safe to share across worker domains (revise scratch is
+    domain-local). *)
+type compiled
+
+(** [compile ~vars formula] compiles each atom with {!Itape.compile}.
+    Boxes given to {!contract_tape} must use the variable order [vars]. *)
+val compile : vars:string list -> Form.t -> compiled
+
+(** Number of compiled atoms. *)
+val atoms : compiled -> int
+
+(** [statuses_on compiled box] is [Form.status_on box] of every atom, in
+    formula order, computed by tape forward passes instead of tree walks.
+    Identical statuses — {!Itape.eval} reproduces [Ieval.eval] exactly. *)
+val statuses_on : compiled -> Box.t -> [ `Holds | `Fails | `Unknown ] list
+
+(** [contract_tape ?counters compiled box ~rounds] is {!contract} on the
+    compiled formula: identical sweep structure, stop test and result, with
+    an AC-3 style agenda that skips atoms whose variables have not been
+    contracted since their last (fixpoint) revise — so [counters] records
+    the same [sweeps] but typically far fewer [revise_calls]. *)
+val contract_tape :
+  ?counters:counters -> compiled -> Box.t -> rounds:int -> result

@@ -17,6 +17,7 @@ type config = {
   contractor_rounds : int;
   sample_check : bool;
   faults : Fault.plan option;
+  tape : Hc4.compiled option;
 }
 
 let default_config =
@@ -26,6 +27,7 @@ let default_config =
     contractor_rounds = 4;
     sample_check = true;
     faults = Fault.of_env ();
+    tape = None;
   }
 
 (* A stable identity for a solver call: the box bounds, bit-exact. Fault
@@ -61,8 +63,13 @@ let solve_real ~contractors cfg box formula =
           if depth > !max_depth then max_depth := depth;
           let contracted =
             match
-              Hc4.contract ~counters:hc4 box formula
-                ~rounds:cfg.contractor_rounds
+              match cfg.tape with
+              | Some compiled ->
+                  Hc4.contract_tape ~counters:hc4 compiled box
+                    ~rounds:cfg.contractor_rounds
+              | None ->
+                  Hc4.contract ~counters:hc4 box formula
+                    ~rounds:cfg.contractor_rounds
             with
             | Hc4.Infeasible -> Hc4.Infeasible
             | Hc4.Contracted box ->
@@ -86,7 +93,9 @@ let solve_real ~contractors cfg box formula =
               end
               else begin
                 let statuses =
-                  List.map (fun a -> Form.status_on box a) formula
+                  match cfg.tape with
+                  | Some compiled -> Hc4.statuses_on compiled box
+                  | None -> List.map (fun a -> Form.status_on box a) formula
                 in
                 if List.for_all (fun s -> s = `Holds) statuses then
                   (* Every point of the box is a model. *)

@@ -44,6 +44,13 @@ type config = {
       (** deterministic fault injection ({!Fault}); [default_config] picks
           this up from the [XCV_FAULT_RATE] / [XCV_FAULT_SEED] environment
           hook, [None] otherwise *)
+  tape : Hc4.compiled option;
+      (** when set, HC4 contraction replays this compiled form of the
+          formula ({!Hc4.contract_tape}) instead of walking the expression
+          trees — bit-identical verdicts, far cheaper per box. The compiled
+          formula must match [formula] and the box's variable order; the
+          verifier compiles it once per (DFA, condition) pair. [None] in
+          [default_config]. *)
 }
 
 val default_config : config

@@ -1,0 +1,426 @@
+open Expr
+
+type result = Contracted of Box.t | Infeasible
+
+(* One SSA register per distinct DAG node, in the exact order the
+   tree-walking HC4 forward pass first completes them, so that iterating
+   the tape backwards replays the tree walker's parents-first backward
+   sweep instruction for instruction. *)
+type instr =
+  | Iconst of Interval.t
+  | Ivar of int  (* box dimension *)
+  | Iadd of int array
+  | Imul of int array
+  | Ipow of { base : int; expo : int; const_expo : float option }
+  | Iunop of Expr.unop * int
+  | Iselect of { branches : (int * Expr.rel * int) array; default : int }
+
+type t = {
+  instrs : instr array;
+  root : int;
+  rel : Form.relation;
+  target : Interval.t;  (* target_of_relation rel, precomputed *)
+  slots : int array;  (* distinct box dimensions read, ascending *)
+  var_regs : (int * int) array;  (* (register, box dimension) per Ivar *)
+  has_select : bool;
+      (* select-free programs have a static visited set (every register),
+         so the per-call mark pass and mask are skipped entirely *)
+}
+
+let target_of_relation = function
+  | Form.Le0 | Form.Lt0 -> Interval.make Float.neg_infinity 0.0
+  | Form.Ge0 | Form.Gt0 -> Interval.make 0.0 Float.infinity
+  | Form.Eq0 -> Interval.zero
+
+(* Inverse of y = x^n for integer n: the set { x | x^n in r }, returned as a
+   list of disjoint branches. The caller meets each branch with the child's
+   current domain *before* hulling — intersecting the hull instead would
+   bridge the gap between the positive and negative branches and lose most
+   of the contraction (e.g. x^2 >= 4 on [0, 10] must give [2, 10], not
+   [0, 10]). *)
+let rec backward_pow_int r n =
+  if n = 0 then [ Interval.top ] (* x^0 = 1 constrains x not at all *)
+  else if n < 0 then backward_pow_int (Interval.inv r) (-n)
+  else begin
+    let p = 1.0 /. float_of_int n in
+    let pos = Interval.pow (Interval.meet r Interval.nonneg) p in
+    let neg_src =
+      if n land 1 = 1 then Interval.meet (Interval.neg r) Interval.nonneg
+      else Interval.meet r Interval.nonneg
+    in
+    [ pos; Interval.neg (Interval.pow neg_src p) ]
+  end
+
+let backward_pow_const r p =
+  if Float.is_integer p && Float.abs p <= 1073741823.0 then
+    backward_pow_int r (int_of_float p)
+  else if p = 0.0 then [ Interval.top ]
+  else
+    (* Non-integer exponent: base is >= 0 by domain semantics. *)
+    [ Interval.pow (Interval.meet r Interval.nonneg) (1.0 /. p) ]
+
+let backward_abs r =
+  let r' = Interval.meet r Interval.nonneg in
+  if Interval.is_empty r' then [ Interval.empty ]
+  else [ r'; Interval.neg r' ]
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let compile ~vars (atom : Form.atom) =
+  let slot_of v =
+    let rec find i = function
+      | [] ->
+          invalid_arg (Printf.sprintf "Itape.compile: unbound variable %S" v)
+      | v' :: rest -> if String.equal v v' then i else find (i + 1) rest
+    in
+    find 0 vars
+  in
+  let code = ref [] in
+  let n = ref 0 in
+  let slots = ref [] in
+  let emit ins =
+    code := ins :: !code;
+    let r = !n in
+    incr n;
+    r
+  in
+  let reg_of =
+    memo_fix (fun self e ->
+        match e.node with
+        | Num r -> emit (Iconst (Interval.point (Rat.to_float r)))
+        | Flt f -> emit (Iconst (Interval.point f))
+        | Var v ->
+            let s = slot_of v in
+            slots := s :: !slots;
+            emit (Ivar s)
+        | Add terms -> emit (Iadd (Array.of_list (List.map self terms)))
+        | Mul factors -> emit (Imul (Array.of_list (List.map self factors)))
+        | Pow (b, x) ->
+            (* The tree walker computes [pow_expr (forward b) (forward x)],
+               and OCaml evaluates arguments right to left — the exponent
+               subtree completes before the base subtree. Registers must be
+               emitted in that same order for the backward replay to visit
+               nodes in the tree walker's exact sequence. *)
+            let rx = self x in
+            let rb = self b in
+            emit (Ipow { base = rb; expo = rx; const_expo = as_const x })
+        | Apply (op, a) -> emit (Iunop (op, self a))
+        | Piecewise (branches, default) ->
+            let compiled =
+              List.map
+                (fun (g, body) -> (self g.cond, g.grel, self body))
+                branches
+            in
+            emit
+              (Iselect
+                 { branches = Array.of_list compiled; default = self default }))
+  in
+  let root = reg_of atom.Form.expr in
+  let instrs = Array.of_list (List.rev !code) in
+  let var_regs = ref [] in
+  let has_select = ref false in
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | Ivar s -> var_regs := (i, s) :: !var_regs
+      | Iselect _ -> has_select := true
+      | _ -> ())
+    instrs;
+  {
+    instrs;
+    root;
+    rel = atom.Form.rel;
+    target = target_of_relation atom.Form.rel;
+    slots = Array.of_list (List.sort_uniq Stdlib.compare !slots);
+    var_regs = Array.of_list (List.rev !var_regs);
+    has_select = !has_select;
+  }
+
+let length prog = Array.length prog.instrs
+let slots prog = prog.slots
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain scratch registers                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One forward array, one requirement array and one visited mask per worker
+   domain, grown on demand and reused across every revise call the domain
+   performs — this is what replaces the tree walker's two fresh hashtables
+   per call. Keyed per domain (not stored in the shared program, which
+   several workers revise concurrently). *)
+type scratch = {
+  mutable fwd : Interval.t array;
+  mutable req : Interval.t array;
+  mutable visited : bool array;
+  mutable nary : Interval.t array;
+      (* suffix-fold buffer for n-ary backward contributions *)
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      { fwd = [||]; req = [||]; visited = [||]; nary = [||] })
+
+let ensure_capacity s n =
+  if Array.length s.fwd < n then begin
+    let m = Stdlib.max n (2 * Array.length s.fwd) in
+    s.fwd <- Array.make m Interval.empty;
+    s.req <- Array.make m Interval.empty;
+    s.visited <- Array.make m false
+  end
+
+let nary_buffer s m =
+  if Array.length s.nary < m then
+    s.nary <- Array.make (Stdlib.max m (2 * Array.length s.nary)) Interval.empty;
+  s.nary
+
+(* ------------------------------------------------------------------ *)
+(* Revise                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The backward pass of an n-ary node needs, for every operand, the
+   combination of all *other* operands. As in the tree walker this is the
+   O(n) prefix/suffix trick — here fused into one suffix array (reused from
+   scratch) and a running prefix accumulator, associating the combines
+   exactly as the tree's [others] does so the values stay float-identical. *)
+
+(* Mark the registers the tree walker would actually visit: all reachable
+   children, except that a certainly-True piecewise guard cuts off the
+   remaining branches and the default (certainly-False branch bodies *are*
+   walked — the tree records them "for uniformity", and the backward pass
+   runs over them too, so the replay must include them). *)
+let mark_visited instrs (fwd : Interval.t array) visited root =
+  let rec mark i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      match instrs.(i) with
+      | Iconst _ | Ivar _ -> ()
+      | Iadd regs | Imul regs -> Array.iter mark regs
+      | Ipow { base; expo; _ } ->
+          mark expo;
+          mark base
+      | Iunop (_, a) -> mark a
+      | Iselect { branches; default } ->
+          let rec walk idx =
+            if idx >= Array.length branches then mark default
+            else begin
+              let c, rel, b = branches.(idx) in
+              mark c;
+              match Ieval.guard_status_of_interval rel fwd.(c) with
+              | `True -> mark b
+              | `False ->
+                  mark b;
+                  walk (idx + 1)
+              | `Unknown ->
+                  mark b;
+                  walk (idx + 1)
+            end
+          in
+          walk 0
+    end
+  in
+  mark root
+
+(* Forward evaluation of every register, bottom-up. Writes into [fwd] and
+   returns nothing; the caller reads the registers it needs. *)
+let forward_pass instrs (fwd : Interval.t array) box n =
+  for i = 0 to n - 1 do
+    fwd.(i) <-
+      (match instrs.(i) with
+      | Iconst c -> c
+      | Ivar slot -> Box.get_idx box slot
+      | Iadd regs ->
+          let acc = ref Interval.zero in
+          for j = 0 to Array.length regs - 1 do
+            acc := Interval.add !acc fwd.(regs.(j))
+          done;
+          !acc
+      | Imul regs ->
+          let acc = ref Interval.one in
+          for j = 0 to Array.length regs - 1 do
+            acc := Interval.mul !acc fwd.(regs.(j))
+          done;
+          !acc
+      | Ipow { base; expo; _ } -> Interval.pow_expr fwd.(base) fwd.(expo)
+      | Iunop (op, a) -> Ieval.apply_unop op fwd.(a)
+      | Iselect { branches; default } ->
+          let rec walk acc idx =
+            if idx >= Array.length branches then
+              Interval.join acc fwd.(default)
+            else begin
+              let c, rel, b = branches.(idx) in
+              match Ieval.guard_status_of_interval rel fwd.(c) with
+              | `True -> Interval.join acc fwd.(b)
+              | `False -> walk acc (idx + 1)
+              | `Unknown -> walk (Interval.join acc fwd.(b)) (idx + 1)
+            end
+          in
+          walk Interval.empty 0)
+  done
+
+let revise prog box =
+  let s = Domain.DLS.get scratch_key in
+  let n = Array.length prog.instrs in
+  ensure_capacity s n;
+  let fwd = s.fwd and req = s.req and visited = s.visited in
+  forward_pass prog.instrs fwd box n;
+  let root_req = Interval.meet fwd.(prog.root) prog.target in
+  if Interval.is_empty root_req then Infeasible
+  else begin
+    (* ---- backward pass ------------------------------------------------ *)
+    if prog.has_select then begin
+      Array.fill visited 0 n false;
+      mark_visited prog.instrs fwd visited prog.root
+    end;
+    Array.blit fwd 0 req 0 n;
+    req.(prog.root) <- root_req;
+    let infeasible = ref false in
+    let tighten c contribution =
+      req.(c) <- Interval.meet req.(c) contribution
+    in
+    (* Union-of-branches contribution: meet each branch with the current
+       requirement first, then hull, preserving gaps the union straddles. *)
+    let tighten_branches c branches =
+      let cur = req.(c) in
+      req.(c) <-
+        List.fold_left
+          (fun acc b -> Interval.join acc (Interval.meet cur b))
+          Interval.empty branches
+    in
+    let propagate i =
+      let r = req.(i) in
+      if Interval.is_empty r then infeasible := true
+      else
+        match prog.instrs.(i) with
+        | Iconst _ | Ivar _ -> ()
+        | Iadd regs ->
+            let m = Array.length regs in
+            let suffix = nary_buffer s (m + 1) in
+            suffix.(m) <- Interval.zero;
+            for j = m - 1 downto 0 do
+              suffix.(j) <- Interval.add fwd.(regs.(j)) suffix.(j + 1)
+            done;
+            let prefix = ref Interval.zero in
+            for j = 0 to m - 1 do
+              let rest = Interval.add !prefix suffix.(j + 1) in
+              tighten regs.(j) (Interval.sub r rest);
+              if j < m - 1 then prefix := Interval.add !prefix fwd.(regs.(j))
+            done
+        | Imul regs ->
+            let m = Array.length regs in
+            let suffix = nary_buffer s (m + 1) in
+            suffix.(m) <- Interval.one;
+            for j = m - 1 downto 0 do
+              suffix.(j) <- Interval.mul fwd.(regs.(j)) suffix.(j + 1)
+            done;
+            let prefix = ref Interval.one in
+            for j = 0 to m - 1 do
+              (* x * rest = r => x in the relational quotient r / rest:
+                 top when 0 is in both (x * 0 = 0 constrains nothing),
+                 empty when rest = {0} but 0 is not in r. *)
+              let rest = Interval.mul !prefix suffix.(j + 1) in
+              if not (Interval.is_empty rest) then
+                tighten regs.(j) (Interval.div_rel r rest);
+              if j < m - 1 then prefix := Interval.mul !prefix fwd.(regs.(j))
+            done
+        | Ipow { base; expo; const_expo } -> (
+            match const_expo with
+            | Some p -> tighten_branches base (backward_pow_const r p)
+            | None ->
+                (* Variable exponent: contract the exponent when the base is
+                   certainly > 1 or in (0, 1): y = log r / log b. *)
+                let fb = fwd.(base) in
+                if Interval.certainly_gt fb 0.0 then begin
+                  let logb = Transcend.log fb in
+                  let logr = Transcend.log (Interval.meet r Interval.nonneg) in
+                  if
+                    (not (Interval.is_empty logr))
+                    && not (Interval.mem 0.0 logb)
+                  then tighten expo (Interval.div logr logb)
+                end)
+        | Iunop (op, a) -> (
+            match op with
+            | Exp -> tighten a (Transcend.log r)
+            | Log -> tighten a (Transcend.exp r)
+            | Tanh -> tighten a (Transcend.atanh r)
+            | Atan -> tighten a (Transcend.tan_on_principal r)
+            | Abs -> tighten_branches a (backward_abs r)
+            | Lambert_w -> tighten a (Transcend.w_inverse r)
+            | Sin ->
+                (* Only invert within a range certainly strictly inside the
+                   principal monotone branch (round-down pi/2). *)
+                let fa = fwd.(a) in
+                if
+                  Interval.is_bounded fa
+                  && Interval.inf fa >= -.Transcend.half_pi_lo
+                  && Interval.sup fa <= Transcend.half_pi_lo
+                then tighten a (Transcend.asin_hull r)
+            | Cos ->
+                let fa = fwd.(a) in
+                if
+                  Interval.is_bounded fa
+                  && Interval.inf fa >= 0.0
+                  && Interval.sup fa <= Transcend.pi_lo
+                then tighten a (Transcend.acos_hull r))
+        | Iselect { branches; default } ->
+            (* Propagate into a branch only when it is certainly the one
+               taken on the whole box. *)
+            let rec walk idx =
+              if idx >= Array.length branches then tighten default r
+              else begin
+                let c, rel, b = branches.(idx) in
+                match Ieval.guard_status_of_interval rel fwd.(c) with
+                | `True -> tighten b r
+                | `False -> walk (idx + 1)
+                | `Unknown -> ()
+              end
+            in
+            walk 0
+    in
+    (* Registers were emitted children-first, so the reverse scan runs
+       parents-first: each register's requirement is final before its
+       children are tightened — the same order as the tree walker. *)
+    (try
+       if prog.has_select then
+         for i = n - 1 downto 0 do
+           if visited.(i) then begin
+             propagate i;
+             if !infeasible then raise_notrace Exit
+           end
+         done
+       else
+         for i = n - 1 downto 0 do
+           propagate i;
+           if !infeasible then raise_notrace Exit
+         done
+     with Exit -> ());
+    if !infeasible then Infeasible
+    else begin
+      (* Read contracted variable domains. *)
+      let contracted = ref box in
+      let failed = ref false in
+      Array.iter
+        (fun (i, slot) ->
+          if (not prog.has_select) || visited.(i) then begin
+            let r = Interval.meet req.(i) (Box.get_idx box slot) in
+            if Interval.is_empty r then failed := true
+            else contracted := Box.set_idx !contracted slot r
+          end)
+        prog.var_regs;
+      if !failed then Infeasible else Contracted !contracted
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Forward-only evaluation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let eval prog box =
+  let s = Domain.DLS.get scratch_key in
+  let n = Array.length prog.instrs in
+  ensure_capacity s n;
+  forward_pass prog.instrs s.fwd box n;
+  s.fwd.(prog.root)
+
+let status_on prog box = Form.status_of_interval (eval prog box) prog.rel

@@ -1,0 +1,63 @@
+(** Compiled interval tapes: the flat SSA form of the HC4 revise procedure.
+
+    {!Hc4.revise} walks the expression tree with two fresh hashtables and an
+    association-list environment per call; on campaign workloads revise
+    dominates the profile. This module compiles a {!Form.atom} once into a
+    register tape (mirroring the scalar tape of {!Compile}) that the solver
+    then replays per box: integer register slots instead of hashtables,
+    integer box dimensions instead of name lookups, and per-worker-domain
+    scratch arrays reused across calls.
+
+    The replay is {e operation-for-operation identical} to the tree walker —
+    registers are emitted in the tree walker's forward completion order, the
+    backward scan runs in its exact reverse, n-ary folds keep their seeds,
+    and certainly-True piecewise guards prune the same branches — so revise
+    results (and therefore paint logs) are bit-identical to {!Hc4.revise}.
+    This is enforced by the equivalence properties in [test_itape.ml]. *)
+
+type result = Contracted of Box.t | Infeasible
+
+type t
+
+(** [compile ~vars atom] compiles [atom] against the variable order [vars]
+    (the box's {!Box.vars}); boxes passed to {!revise} must use that order.
+    @raise Invalid_argument when the atom reads a variable not in [vars]. *)
+val compile : vars:string list -> Form.atom -> t
+
+(** Number of registers (distinct DAG nodes) of the compiled atom. *)
+val length : t -> int
+
+(** Box dimensions the atom reads, ascending — the rows of the
+    variable-to-atom incidence map {!Hc4.compile} builds. *)
+val slots : t -> int array
+
+(** [revise prog box] is {!Hc4.revise} of the compiled atom on [box]:
+    forward evaluation, feasibility test against the atom's relation,
+    backward contraction, and read-off of the contracted variable domains.
+    Scratch registers live in domain-local storage; calls from different
+    worker domains never share them. *)
+val revise : t -> Box.t -> result
+
+(** [eval prog box] is the forward pass alone: the enclosure of the atom's
+    expression over the box. Identical to [Ieval.eval] of the expression
+    (same operations in the same association), at tape speed. *)
+val eval : t -> Box.t -> Interval.t
+
+(** [status_on prog box] is {!Form.status_on} of the compiled atom — the
+    solver's per-box certainty test without the tree walk. *)
+val status_on : t -> Box.t -> [ `Holds | `Fails | `Unknown ]
+
+(** {1 Shared backward machinery}
+
+    Used by both the tree walker and the tape replay, so the two paths
+    cannot drift apart. *)
+
+(** The sign interval a relation requires of its root expression. *)
+val target_of_relation : Form.relation -> Interval.t
+
+(** [backward_pow_int r n] is [{ x | x^n in r }] as disjoint branches; the
+    caller meets each branch with the child's domain before hulling. *)
+val backward_pow_int : Interval.t -> int -> Interval.t list
+
+val backward_pow_const : Interval.t -> float -> Interval.t list
+val backward_abs : Interval.t -> Interval.t list

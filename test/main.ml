@@ -14,6 +14,7 @@ let () =
       ("simplify-subst", Test_simplify.suite);
       ("interval", Test_interval.suite);
       ("solver", Test_solver.suite);
+      ("itape", Test_itape.suite);
       ("taylor", Test_taylor.suite);
       ("functionals", Test_functionals.suite);
       ("spin", Test_spin.suite);

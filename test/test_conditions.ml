@@ -200,6 +200,7 @@ let test_extra_verification () =
       deadline_seconds = Some 10.0;
       workers = 1;
       use_taylor = false;
+      use_tape = true;
       retry = Verify.no_retry;
     }
   in

@@ -1,0 +1,298 @@
+open Testutil
+
+(* The interval-tape VM (Itape / Hc4.contract_tape) and the soundness fixes
+   that ride with it.
+
+   The headline property is bit-identity: the compiled tape must reproduce
+   the tree-walking HC4 revise operation for operation, so verdicts, boxes
+   and paint logs are byte-identical at every worker count. The regression
+   cases pin the zero-divisor, Lambert-W fallback, huge-argument trig and
+   zero-progress split fixes, each of which failed before this change. *)
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+(* Intervals over a mix of magnitudes, biased toward the degenerate and
+   zero-containing shapes the zero-divisor bug lives on. *)
+let interval_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2
+          (fun a b -> Interval.make (Float.min a b) (Float.max a b))
+          (float_range (-3.0) 3.0) (float_range (-3.0) 3.0);
+        return (Interval.point 0.0);
+        map (fun x -> Interval.point x) (float_range (-2.0) 2.0);
+        map (fun x -> Interval.make 0.0 x) (float_range 0.0 2.0);
+      ])
+
+let box_gen =
+  QCheck2.Gen.(
+    map2
+      (fun ix iy -> Box.make [ ("x", ix); ("y", iy) ])
+      interval_gen interval_gen)
+
+let rel_gen =
+  QCheck2.Gen.oneofl [ Form.Le0; Form.Lt0; Form.Ge0; Form.Gt0; Form.Eq0 ]
+
+(* expr_gen plus piecewise roots, so the tape's guard-pruned branch walk is
+   exercised (the plain generator never emits Piecewise). *)
+let atom_expr_gen =
+  QCheck2.Gen.(
+    let pw =
+      map3
+        (fun g b d ->
+          Expr.piecewise [ (Expr.guard_le g, b) ] d)
+        expr_gen expr_gen expr_gen
+    in
+    let pw2 =
+      map3
+        (fun g1 (g2, b2) d ->
+          Expr.piecewise
+            [ (Expr.guard_lt g1, Expr.sin g1); (Expr.guard_le g2, b2) ]
+            d)
+        expr_gen
+        (pair expr_gen expr_gen)
+        expr_gen
+    in
+    frequency [ (4, expr_gen); (1, pw); (1, pw2) ])
+
+let atom_gen =
+  QCheck2.Gen.map2 (fun e rel -> Form.atom e rel) atom_expr_gen rel_gen
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence: tape revise = tree revise, bit for bit *)
+
+let same_result a b =
+  match (a, b) with
+  | Hc4.Infeasible, Hc4.Infeasible -> true
+  | Hc4.Contracted b1, Hc4.Contracted b2 -> Box.equal b1 b2
+  | _ -> false
+
+let prop_revise_equiv =
+  qcheck ~count:500 "tape revise = tree revise"
+    QCheck2.Gen.(pair atom_gen box_gen)
+    (fun (atom, box) ->
+      let tape = Itape.compile ~vars:(Box.vars box) atom in
+      same_result (Hc4.revise box atom) (Itape.revise tape box))
+
+let prop_contract_equiv =
+  qcheck ~count:200 "contract_tape = contract (result and sweeps)"
+    QCheck2.Gen.(
+      triple (list_size (int_range 1 3) atom_gen) box_gen (int_range 1 4))
+    (fun (formula, box, rounds) ->
+      let tree_c = Hc4.counters () and tape_c = Hc4.counters () in
+      let compiled = Hc4.compile ~vars:(Box.vars box) formula in
+      let tree = Hc4.contract ~counters:tree_c box formula ~rounds in
+      let tape = Hc4.contract_tape ~counters:tape_c compiled box ~rounds in
+      same_result tree tape
+      && tree_c.Hc4.sweeps = tape_c.Hc4.sweeps
+      && tape_c.Hc4.revise_calls <= tree_c.Hc4.revise_calls)
+
+(* ------------------------------------------------------------------ *)
+(* Soundness regression: multiplication by a zero factor *)
+
+(* x * y = 0 with y = [0,0]: every x satisfies the atom, so revise must
+   keep x untouched. Before div_rel, the Mul backward pass computed
+   x's requirement as div [0,0] [0,0] = empty and declared the atom
+   Infeasible — an unsound verdict (x = 1, y = 0 is a model). *)
+let test_mul_by_zero_sound () =
+  let atom = Form.eq (Expr.mul (Expr.var "x") (Expr.var "y")) in
+  let box =
+    Box.make [ ("x", Interval.make 1.0 2.0); ("y", Interval.point 0.0) ]
+  in
+  let check label = function
+    | Hc4.Infeasible -> Alcotest.failf "%s: x*0 = 0 declared Infeasible" label
+    | Hc4.Contracted b ->
+        check_true (label ^ ": x untouched")
+          (Interval.equal (Box.get b "x") (Interval.make 1.0 2.0));
+        check_true (label ^ ": y untouched")
+          (Interval.equal (Box.get b "y") (Interval.point 0.0))
+  in
+  check "tree" (Hc4.revise box atom);
+  let tape = Itape.compile ~vars:(Box.vars box) atom in
+  check "tape" (Itape.revise tape box)
+
+(* x * y = 1 with y = [0,0] really is infeasible (0 not in [1,1]); the fix
+   must not weaken that direction. *)
+let test_mul_by_zero_still_prunes () =
+  let atom =
+    Form.eq (Expr.sub (Expr.mul (Expr.var "x") (Expr.var "y")) (Expr.int 1))
+  in
+  let box =
+    Box.make [ ("x", Interval.make 1.0 2.0); ("y", Interval.point 0.0) ]
+  in
+  check_true "tree prunes x*0 = 1" (Hc4.revise box atom = Hc4.Infeasible);
+  let tape = Itape.compile ~vars:(Box.vars box) atom in
+  check_true "tape prunes x*0 = 1" (Itape.revise tape box = Hc4.Infeasible)
+
+(* The relational division itself: when both arguments contain zero the
+   projection { x | exists y in b, x*y in a } is the whole line, not the
+   hull div computes; when only the divisor is zero it stays empty. *)
+let test_div_rel () =
+  let z = Interval.point 0.0 in
+  check_true "0/0 relational = top"
+    (Interval.equal (Interval.div_rel z z) Interval.top);
+  check_true "straddling/straddling relational = top"
+    (Interval.equal
+       (Interval.div_rel (Interval.make (-1.0) 1.0) (Interval.make (-1.0) 1.0))
+       Interval.top);
+  check_true "nonzero/0 relational = empty"
+    (Interval.is_empty (Interval.div_rel Interval.one z));
+  check_true "0 not in numerator: div_rel agrees with div"
+    (Interval.equal
+       (Interval.div_rel (Interval.make 1.0 2.0) (Interval.make 1.0 4.0))
+       (Interval.div (Interval.make 1.0 2.0) (Interval.make 1.0 4.0)))
+
+(* ------------------------------------------------------------------ *)
+(* Soundness regression: Lambert-W certified bounds under NaN *)
+
+(* The kernel really does produce NaN just below the branch point on this
+   libm — the seam the old code mapped to an upper bound of -1.0, turning
+   an unknown value into an empty (infeasible) enclosure. The fallback must
+   keep the enclosure valid: -1.0 is a sound *lower* bound (range of w0),
+   but an unknown *upper* bound must widen to +inf. *)
+let test_lambert_nan_fallback () =
+  let i = Transcend.certified_w_bounds ~lo:0.5 ~hi:Float.nan in
+  check_false "NaN upper certification keeps a nonempty enclosure"
+    (Interval.is_empty i);
+  check_close "lower bound kept" 0.5 (Interval.inf i);
+  check_true "unknown upper bound widens to +inf"
+    (Interval.sup i = Float.infinity);
+  let j = Transcend.certified_w_bounds ~lo:Float.nan ~hi:2.0 in
+  check_close "unknown lower bound falls back to -1 (range of w0)" (-1.0)
+    (Interval.inf j);
+  check_close "upper bound kept" 2.0 (Interval.sup j)
+
+let test_lambert_kernel_nan_evidence () =
+  (* Evidence that the seam is live: the float kernel NaNs immediately below
+     the branch point -1/e, which is where certify_hi's probes can land. *)
+  let branch_point = -.Float.exp (-1.0) in
+  check_true "w0 NaNs just below the branch point"
+    (Float.is_nan (Lambert.w0 (Float.pred branch_point)));
+  (* and the interval operator stays sound across the branch point *)
+  let i = Transcend.lambert_w (Interval.make (-1.0) 0.0) in
+  check_false "lambert_w enclosure nonempty" (Interval.is_empty i);
+  check_true "contains w0(0) = 0" (Interval.mem 0.0 i)
+
+(* ------------------------------------------------------------------ *)
+(* Soundness regression: trig of huge arguments *)
+
+(* cos changes sign between these two adjacent floats near 2^42 (checked in
+   the guard), so sin attains 1... wait, sin attains its extremum where cos
+   crosses zero downward — the true maximum of sin on [a, b] is 1 up to the
+   enclosure's rounding. The old endpoint-plus-slack estimate returned an
+   upper bound of ~0.99999997, excluding the true maximum. After the fix,
+   arguments beyond 2^20 fall back to the trivially sound [-1, 1]. *)
+let test_trig_huge_argument_sound () =
+  let a = 0x1.921fb5446f318p+42 in
+  let b = Float.succ a in
+  (* the deterministic witness: a true local maximum of sin inside [a,b] *)
+  check_true "cos sign change brackets a maximum of sin"
+    (Stdlib.cos a > 0.0 && Stdlib.cos b < 0.0);
+  let s = Transcend.sin (Interval.make a b) in
+  check_true "sin enclosure of huge args contains the true maximum 1"
+    (Interval.mem 1.0 s);
+  check_true "argument is beyond the trust cutoff"
+    (Interval.mag (Interval.make a b) > Transcend.trig_arg_cutoff)
+
+let test_trig_small_argument_still_tight () =
+  (* The cutoff must not cost precision where the reconstruction is safe. *)
+  let i = Transcend.sin (Interval.make 0.1 0.2) in
+  check_true "still tight below the cutoff" (Interval.sup i < 0.21);
+  check_true "sound" (Interval.mem (Stdlib.sin 0.15) i);
+  let c = Transcend.cos (Interval.make 1000.0 1000.1) in
+  check_true "cos tight at moderate magnitude" (Interval.width c < 0.2);
+  check_true "cos sound at moderate magnitude"
+    (Interval.mem (Stdlib.cos 1000.05) c)
+
+(* ------------------------------------------------------------------ *)
+(* Regression: zero-progress splits *)
+
+let test_split_progress () =
+  (* One float strictly inside: both children strictly narrower. *)
+  let lo = 1.0 in
+  let hi = Float.succ (Float.succ lo) in
+  let l, r = Interval.split (Interval.make lo hi) in
+  check_true "left strictly narrower" (Interval.sup l < hi);
+  check_true "right strictly narrower" (Interval.inf r > lo);
+  check_true "children cover" (Interval.sup l = Interval.inf r);
+  (* No float strictly inside: split must refuse, not loop. *)
+  (match Interval.split (Interval.make lo (Float.succ lo)) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "split of an ulp-wide interval must raise");
+  (* The midpoint nudge: a heavily skewed interval whose float midpoint
+     collapses onto an endpoint must still make progress. *)
+  let i = Interval.make (-1e308) 1e308 in
+  let l, r = Interval.split i in
+  check_true "huge interval splits"
+    (Interval.width l < Interval.width i && Interval.width r < Interval.width i)
+
+let prop_split_progress =
+  qcheck ~count:300 "split always makes progress or raises"
+    QCheck2.Gen.(
+      map2
+        (fun a b -> (Float.min a b, Float.max a b))
+        finite_float_gen finite_float_gen)
+    (fun (lo, hi) ->
+      if not (lo < hi) then true
+      else
+        match Interval.split (Interval.make lo hi) with
+        | l, r ->
+            Interval.inf l = lo && Interval.sup r = hi
+            && Interval.sup l = Interval.inf r
+            && Interval.sup l > lo && Interval.sup l < hi
+        | exception Invalid_argument _ ->
+            (* only legal when no float lies strictly between *)
+            Float.succ lo >= hi)
+
+(* ------------------------------------------------------------------ *)
+(* Paint-log identity on a real campaign pair *)
+
+let campaign_config ~use_tape ~workers =
+  {
+    Verify.threshold = 0.4;
+    solver =
+      { Icp.default_config with fuel = 60; delta = 1e-2; contractor_rounds = 2 };
+    deadline_seconds = None;
+    workers;
+    use_taylor = false;
+    use_tape;
+    retry = Verify.no_retry;
+  }
+
+let normalized o = Serialize.to_string { o with Outcome.stats = Outcome.zero_stats }
+
+let test_paint_log_identity () =
+  let run ~use_tape ~workers =
+    match
+      Verify.run_pair
+        ~config:(campaign_config ~use_tape ~workers)
+        (Registry.find "pbe") Conditions.Ec1
+    with
+    | Some o -> normalized o
+    | None -> Alcotest.fail "PBE/EC1 must be applicable"
+  in
+  let reference = run ~use_tape:false ~workers:1 in
+  Alcotest.(check string) "tape paint log byte-identical (workers=1)"
+    reference
+    (run ~use_tape:true ~workers:1);
+  Alcotest.(check string) "tape paint log byte-identical (workers=4)"
+    reference
+    (run ~use_tape:true ~workers:4)
+
+let suite =
+  [
+    prop_revise_equiv;
+    prop_contract_equiv;
+    case "mul by zero factor is not infeasible" test_mul_by_zero_sound;
+    case "mul by zero still prunes real conflicts" test_mul_by_zero_still_prunes;
+    case "relational division" test_div_rel;
+    case "lambert NaN certification fallback" test_lambert_nan_fallback;
+    case "lambert kernel NaN evidence" test_lambert_kernel_nan_evidence;
+    case "trig of huge arguments is sound" test_trig_huge_argument_sound;
+    case "trig below cutoff stays tight" test_trig_small_argument_still_tight;
+    case "split progress" test_split_progress;
+    prop_split_progress;
+    case "paint log identity tree vs tape" test_paint_log_identity;
+  ]

@@ -15,6 +15,7 @@ let config =
     deadline_seconds = Some 30.0;
     workers = test_workers;
     use_taylor = false;
+    use_tape = true;
     retry = { Verify.max_retries = 2; fuel_growth = 2 };
   }
 

@@ -224,6 +224,7 @@ let equiv_config workers =
     deadline_seconds = None;
     workers;
     use_taylor = false;
+    use_tape = true;
     retry = Verify.no_retry;
   }
 

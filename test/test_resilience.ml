@@ -30,6 +30,7 @@ let config ?faults ?(retry = Verify.no_retry) ?(workers = test_workers) () =
     deadline_seconds = None;
     workers;
     use_taylor = false;
+    use_tape = true;
     retry;
   }
 
@@ -269,6 +270,7 @@ let campaign_config =
     deadline_seconds = Some 10.0;
     workers = 1;
     use_taylor = false;
+    use_tape = true;
     retry = Verify.no_retry;
   }
 

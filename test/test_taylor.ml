@@ -120,6 +120,7 @@ let test_verify_integration () =
       deadline_seconds = Some 20.0;
       workers = 1;
       use_taylor = true;
+      use_tape = true;
       retry = Verify.no_retry;
     }
   in

@@ -26,6 +26,7 @@ let config workers =
     deadline_seconds = None;
     workers;
     use_taylor = false;
+    use_tape = true;
     retry = Verify.no_retry;
   }
 
