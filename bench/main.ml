@@ -14,10 +14,18 @@
      dune exec bench/main.exe micro         -- Bechamel micro-benchmarks
      dune exec bench/main.exe hc4           -- tree HC4 vs compiled interval tape
 
-   Environment knobs: XCV_BENCH_FUEL (solver fuel per call, default 300),
-   XCV_BENCH_DEADLINE (seconds per pair, default 15). The absolute wall-clock
-   numbers are machine-dependent; the *verdicts* and region shapes are the
-   reproduction targets (see EXPERIMENTS.md). *)
+   Pass `--json` (anywhere in the argument list) to additionally write
+   BENCH_<target>.json for every target run: the target name, its
+   wall-clock, and every metric the target recorded (expansions, prunes,
+   revise_calls, speedups, ...). `dune build @bench-smoke` runs the hc4
+   target this way with tiny budgets as a harness smoke test.
+
+   Environment knobs: XCV_BENCH_FUEL (campaign solver fuel per call,
+   default 300), XCV_BENCH_DEADLINE (seconds per pair, default 15),
+   XCV_BENCH_QUOTA (Bechamel seconds per micro-benchmark, default 0.5),
+   XCV_BENCH_ICP_FUEL (fuel for the split-heuristic grid, default 20000).
+   The absolute wall-clock numbers are machine-dependent; the *verdicts*
+   and region shapes are the reproduction targets (see EXPERIMENTS.md). *)
 
 let getenv_int name default =
   match Sys.getenv_opt name with
@@ -31,6 +39,33 @@ let getenv_float name default =
 
 let bench_fuel = getenv_int "XCV_BENCH_FUEL" 300
 let bench_deadline = getenv_float "XCV_BENCH_DEADLINE" 15.0
+let bench_quota = getenv_float "XCV_BENCH_QUOTA" 0.5
+let bench_icp_fuel = getenv_int "XCV_BENCH_ICP_FUEL" 20_000
+
+(* --json: machine-readable results. Targets push (key, value) pairs while
+   they run; the driver writes BENCH_<target>.json after each target. The
+   format is a single flat object -- target, wall_clock_s, then the metrics
+   in recording order -- so downstream tooling needs no schema. *)
+let json_enabled = ref false
+let json_metrics : (string * float) list ref = ref []
+
+let record_metric key value =
+  if !json_enabled then json_metrics := (key, value) :: !json_metrics
+
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.17g" v else "null"
+
+let write_json target wall =
+  let path = Printf.sprintf "BENCH_%s.json" target in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"target\": %S,\n  \"wall_clock_s\": %s" target
+    (json_float wall);
+  List.iter
+    (fun (k, v) -> Printf.fprintf oc ",\n  %S: %s" k (json_float v))
+    (List.rev !json_metrics);
+  output_string oc "\n}\n";
+  close_out oc;
+  Printf.printf "(wrote %s)\n%!" path
 
 let campaign_config =
   {
@@ -46,6 +81,7 @@ let campaign_config =
     workers = 1;
     use_taylor = false;
     use_tape = true;
+    split_heuristic = `Widest;
     retry = Verify.no_retry;
   }
 
@@ -516,7 +552,7 @@ let micro () =
     ]
   in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second bench_quota) ~kde:None
       ~stabilize:false ()
   in
   let ols =
@@ -594,7 +630,7 @@ let hc4_bench () =
   let open Bechamel in
   let open Toolkit in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second bench_quota) ~kde:None
       ~stabilize:false ()
   in
   let ols =
@@ -615,8 +651,11 @@ let hc4_bench () =
       (Test.elements test)
     |> List.hd
   in
-  let speedup label tree tape =
-    Printf.printf "%-40s %12.2fx\n\n%!" (label ^ " speedup") (tree /. tape)
+  let speedup ?pair label tree tape =
+    Printf.printf "%-40s %12.2fx\n\n%!" (label ^ " speedup") (tree /. tape);
+    match pair with
+    | Some p -> record_metric (Printf.sprintf "%s_%s_speedup" p label) (tree /. tape)
+    | None -> ()
   in
   List.iter
     (fun (dfa_name, cond) ->
@@ -627,6 +666,7 @@ let hc4_bench () =
       let compiled = Hc4.compile ~vars:(Box.vars domain) formula in
       let atom = List.hd formula in
       let prog = Itape.compile ~vars:(Box.vars domain) atom in
+      let pair = dfa_name ^ "_" ^ Conditions.name cond in
       (* a mid-search box: narrow enough that the atom is undecided, so the
          backward pass and read-off actually run *)
       let box = fst (Box.split (fst (Box.split domain))) in
@@ -642,7 +682,7 @@ let hc4_bench () =
           (Test.make ~name:"revise (interval tape)"
              (Staged.stage (fun () -> Itape.revise prog box)))
       in
-      speedup "revise" t_revise v_revise;
+      speedup ~pair "revise" t_revise v_revise;
       let t_contract =
         measure
           (Test.make ~name:"contract x4 (tree walk)"
@@ -654,7 +694,7 @@ let hc4_bench () =
              (Staged.stage (fun () ->
                   Hc4.contract_tape compiled box ~rounds:4)))
       in
-      speedup "contract" t_contract v_contract;
+      speedup ~pair "contract" t_contract v_contract;
       let solver = { Icp.default_config with fuel = 50; faults = None } in
       let t_solve =
         measure
@@ -670,13 +710,173 @@ let hc4_bench () =
                     { solver with Icp.tape = Some compiled }
                     domain formula)))
       in
-      speedup "solve" t_solve v_solve)
+      speedup ~pair "solve" t_solve v_solve)
     [
       ("pbe", Conditions.Ec1);
       ("pbe", Conditions.Ec7);
       ("lyp", Conditions.Ec1);
       ("scan", Conditions.Ec1);
-    ]
+    ];
+
+  (* -- mean-value contractor: symbolic tree walk vs one adjoint sweep -- *)
+  section "Mean-value contractor: tree-walk Taylor vs adjoint tape";
+  let mvf_speedups = ref [] in
+  List.iter
+    (fun (dfa_name, cond, clamps) ->
+      let dfa = Registry.find dfa_name in
+      let problem = Option.get (Encoder.encode dfa cond) in
+      let formula = problem.Encoder.negated in
+      let domain = problem.Encoder.domain in
+      let vars = Box.vars domain in
+      let compiled = Hc4.compile ~vars formula in
+      let preps = List.map (Taylor.prepare ~vars) formula in
+      let pair = dfa_name ^ "_" ^ Conditions.name cond in
+      (* a mid-search box: atoms undecided, so the linear solve actually
+         runs. Piecewise DFAs (SCAN) get explicit clamps away from the
+         guard seams — on an undecided-guard box both contractors are
+         no-ops and the comparison would only measure how fast each one
+         notices (the tree walk wins that by design: its guards are
+         precollected as tiny standalone expressions). *)
+      let box =
+        match clamps with
+        | [] -> fst (Box.split (fst (Box.split domain)))
+        | _ ->
+            List.fold_left
+              (fun b (v, lo, hi) -> Box.set b v (Interval.make lo hi))
+              domain clamps
+      in
+      let tree_contract b0 =
+        List.fold_left
+          (fun acc prep ->
+            match acc with
+            | Hc4.Infeasible -> acc
+            | Hc4.Contracted b -> Taylor.contract prep b)
+          (Hc4.Contracted b0) preps
+      in
+      Printf.printf "--- %s / %s ---\n" dfa_name (Conditions.name cond);
+      let t_tree =
+        measure
+          (Test.make ~name:"mvf contract (tree walk)"
+             (Staged.stage (fun () -> tree_contract box)))
+      in
+      let t_tape =
+        measure
+          (Test.make ~name:"mvf contract (adjoint tape)"
+             (Staged.stage (fun () -> Hc4.mean_value_tape compiled box)))
+      in
+      mvf_speedups := (t_tree /. t_tape) :: !mvf_speedups;
+      speedup ~pair "mvf" t_tree t_tape)
+    [
+      ("pbe", Conditions.Ec1, []);
+      ("pbe", Conditions.Ec7, []);
+      ("lyp", Conditions.Ec1, []);
+      ("scan", Conditions.Ec1,
+       [
+         (Dft_vars.rs_name, 1.0, 1.3);
+         (Dft_vars.s_name, 1.0, 1.3);
+         (Dft_vars.alpha_name, 1.2, 1.5);
+       ]);
+    ];
+  (let sp = !mvf_speedups in
+   let geomean =
+     exp (List.fold_left (fun a x -> a +. log x) 0.0 sp
+          /. float_of_int (List.length sp))
+   in
+   Printf.printf "mvf geometric-mean speedup: %.2fx\n" geomean;
+   record_metric "mvf_geomean_speedup" geomean);
+
+  (* -- split heuristic x contractor grid: fuel spent to a verdict -- *)
+  section "Split heuristic: widest vs smear (expansions to verdict)";
+  Printf.printf "fuel budget %d per solve (XCV_BENCH_ICP_FUEL)\n\n"
+    bench_icp_fuel;
+  (* The workloads are Unsat proofs: sub-boxes on which the condition holds,
+     clamped away from the rs -> 0 singular corner and the violation /
+     delta-sat bands. Splitting order is irrelevant for SAT instances (the
+     midpoint sampler finds violation models in a handful of expansions
+     either way); it is the price of an Unsat proof that the smear rule is
+     meant to cut. *)
+  let tot_exp = ref 0 and tot_prunes = ref 0 and tot_revise = ref 0 in
+  List.iter
+    (fun (dfa_name, cond, clamps) ->
+      let dfa = Registry.find dfa_name in
+      let problem = Option.get (Encoder.encode dfa cond) in
+      let formula = problem.Encoder.negated in
+      let domain = problem.Encoder.domain in
+      let vars = Box.vars domain in
+      let compiled = Hc4.compile ~vars formula in
+      let preps = List.map (Taylor.prepare ~vars) formula in
+      let box =
+        List.fold_left
+          (fun b (v, lo, hi) -> Box.set b v (Interval.make lo hi))
+          domain clamps
+      in
+      let cname = Conditions.name cond in
+      let pair = dfa_name ^ "_" ^ cname in
+      Printf.printf "--- %s / %s on " dfa_name cname;
+      List.iter (fun (v, lo, hi) -> Printf.printf "%s:[%g,%g] " v lo hi) clamps;
+      Printf.printf "---\n";
+      let results = ref [] in
+      List.iter
+        (fun (mode_label, contractors) ->
+          List.iter
+            (fun (split_label, split) ->
+              let cfg =
+                {
+                  Icp.default_config with
+                  fuel = bench_icp_fuel;
+                  faults = None;
+                  tape = Some compiled;
+                  split_heuristic = split;
+                }
+              in
+              let t0 = Unix.gettimeofday () in
+              let verdict, stats = Icp.solve ~contractors cfg box formula in
+              let dt = Unix.gettimeofday () -. t0 in
+              results := ((mode_label, split_label), stats.Icp.expansions)
+                         :: !results;
+              tot_exp := !tot_exp + stats.Icp.expansions;
+              tot_prunes := !tot_prunes + stats.Icp.prunes;
+              tot_revise := !tot_revise + stats.Icp.revise_calls;
+              record_metric
+                (Printf.sprintf "%s_%s_%s_expansions" pair mode_label
+                   split_label)
+                (float_of_int stats.Icp.expansions);
+              let verdict_s = Format.asprintf "%a" Icp.pp_verdict verdict in
+              Printf.printf
+                "%-12s %-7s %-24s %6d expansions  %6d prunes  %.3fs\n%!"
+                mode_label split_label verdict_s stats.Icp.expansions
+                stats.Icp.prunes dt)
+            [ ("widest", `Widest); ("smear", `Smear) ])
+        [
+          ("taylor-off", []);
+          ("taylor-tree", List.map Taylor.contractor preps);
+          ("taylor-tape", [ Hc4.mean_value_tape compiled ]);
+        ];
+      (match
+         ( List.assoc_opt ("taylor-tape", "widest") !results,
+           List.assoc_opt ("taylor-tape", "smear") !results )
+       with
+      | Some w, Some s when w > 0 ->
+          let red = 1.0 -. (float_of_int s /. float_of_int w) in
+          Printf.printf
+            "smear expansion reduction (taylor-tape): %.1f%%\n\n" (100. *. red);
+          record_metric (Printf.sprintf "%s_smear_reduction" pair) red
+      | _ -> ()))
+    [
+      ("pbe", Conditions.Ec1,
+       [ (Dft_vars.rs_name, 0.5, 5.0); (Dft_vars.s_name, 0.0, 2.0) ]);
+      ("pbe", Conditions.Ec2,
+       [ (Dft_vars.rs_name, 0.5, 5.0); (Dft_vars.s_name, 0.0, 2.0) ]);
+      ("lyp", Conditions.Ec1,
+       [ (Dft_vars.rs_name, 0.5, 5.0); (Dft_vars.s_name, 0.0, 1.5) ]);
+      ("lyp", Conditions.Ec2,
+       [ (Dft_vars.rs_name, 0.5, 5.0); (Dft_vars.s_name, 0.0, 1.4) ]);
+      ("pbe", Conditions.Ec7,
+       [ (Dft_vars.rs_name, 0.5, 5.0); (Dft_vars.s_name, 0.0, 1.0) ]);
+    ];
+  record_metric "expansions" (float_of_int !tot_exp);
+  record_metric "prunes" (float_of_int !tot_prunes);
+  record_metric "revise_calls" (float_of_int !tot_revise)
 
 (* ------------------------------------------------------------------ *)
 
@@ -690,13 +890,21 @@ let () =
     ]
   in
   let args = Array.to_list Sys.argv |> List.tl in
-  match args with
-  | [] -> List.iter (fun (_, f) -> f ()) targets
+  json_enabled := List.mem "--json" args;
+  let names = List.filter (fun a -> not (String.equal a "--json")) args in
+  let run_target (name, f) =
+    json_metrics := [];
+    let t0 = Unix.gettimeofday () in
+    f ();
+    if !json_enabled then write_json name (Unix.gettimeofday () -. t0)
+  in
+  match names with
+  | [] -> List.iter run_target targets
   | names ->
       List.iter
         (fun name ->
           match List.assoc_opt name targets with
-          | Some f -> f ()
+          | Some f -> run_target (name, f)
           | None ->
               Printf.eprintf "unknown bench target %S; known: %s\n" name
                 (String.concat " " (List.map fst targets));

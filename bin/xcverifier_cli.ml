@@ -88,8 +88,21 @@ let grid_arg =
   Arg.(value & opt (bounded_int ~what:"grid" ~min:2) 100 & info [ "n"; "grid" ] ~doc)
 
 let taylor_arg =
-  let doc = "Enable the mean-value-form (Taylor) contractor." in
-  Arg.(value & flag & info [ "taylor" ] ~doc)
+  let doc =
+    "Enable the mean-value-form (Taylor) contractor (tape-native adjoint \
+     sweep; on by default, --taylor=false disables)."
+  in
+  Arg.(value & opt bool true & info [ "taylor" ] ~doc ~docv:"BOOL")
+
+let split_arg =
+  let doc =
+    "Split heuristic: $(b,widest) bisects the widest dimension, $(b,smear) \
+     the dimension of maximal smear |df/dx| * width (adjoint-tape guided)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("widest", `Widest); ("smear", `Smear) ]) `Widest
+    & info [ "split" ] ~doc ~docv:"HEURISTIC")
 
 let certify_arg =
   let doc = "Print an interval-certified counterexample certificate." in
@@ -142,9 +155,9 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
 
-let config_of ?(use_taylor = false) ?(workers = 1) ?(retries = 0)
-    ?(fuel_growth = 2) ?fault_rate ?(fault_seed = Fault.default_seed) fuel
-    threshold delta deadline =
+let config_of ?(use_taylor = true) ?(split = `Widest) ?(workers = 1)
+    ?(retries = 0) ?(fuel_growth = 2) ?fault_rate
+    ?(fault_seed = Fault.default_seed) fuel threshold delta deadline =
   let faults =
     match fault_rate with
     | Some rate -> Some (Fault.make ~seed:fault_seed ~rate ())
@@ -158,6 +171,7 @@ let config_of ?(use_taylor = false) ?(workers = 1) ?(retries = 0)
     workers = (if workers <= 0 then Pool.default_workers () else workers);
     use_taylor;
     use_tape = true;
+    split_heuristic = split;
     retry = { Verify.max_retries = retries; fuel_growth };
   }
 
@@ -236,7 +250,7 @@ let encode_cmd =
 (* ---- verify ---------------------------------------------------------- *)
 
 let verify_cmd =
-  let run dfa cond fuel threshold delta deadline map use_taylor certify
+  let run dfa cond fuel threshold delta deadline map use_taylor split certify
       workers trace retries fuel_growth fault_rate fault_seed =
     match lookup_pair dfa cond with
     | Error e ->
@@ -244,8 +258,8 @@ let verify_cmd =
         exit 2
     | Ok (f, c) -> (
         let config =
-          config_of ~use_taylor ~workers ~retries ~fuel_growth ?fault_rate
-            ~fault_seed fuel threshold delta deadline
+          config_of ~use_taylor ~split ~workers ~retries ~fuel_growth
+            ?fault_rate ~fault_seed fuel threshold delta deadline
         in
         match Encoder.encode f c with
         | None ->
@@ -291,8 +305,8 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Run Algorithm 1 on one (DFA, condition) pair")
     Term.(
       const run $ dfa_arg $ condition_arg $ fuel_arg $ threshold_arg
-      $ delta_arg $ deadline_arg $ map_arg $ taylor_arg $ certify_arg
-      $ workers_arg $ trace_arg $ retries_arg $ fuel_growth_arg
+      $ delta_arg $ deadline_arg $ map_arg $ taylor_arg $ split_arg
+      $ certify_arg $ workers_arg $ trace_arg $ retries_arg $ fuel_growth_arg
       $ fault_rate_arg $ fault_seed_arg)
 
 (* ---- extra (extension conditions) ------------------------------------ *)
@@ -349,13 +363,13 @@ let campaign_cmd =
     in
     Arg.(value & opt (some string) None & info [ "resume" ] ~doc ~docv:"FILE")
   in
-  let run quick fuel threshold delta deadline save checkpoint resume retries
-      fuel_growth fault_rate fault_seed =
+  let run quick fuel threshold delta deadline split save checkpoint resume
+      retries fuel_growth fault_rate fault_seed =
     let config =
-      if quick then Verify.quick_config
+      if quick then { Verify.quick_config with split_heuristic = split }
       else
-        config_of ~retries ~fuel_growth ?fault_rate ~fault_seed fuel threshold
-          delta deadline
+        config_of ~split ~retries ~fuel_growth ?fault_rate ~fault_seed fuel
+          threshold delta deadline
     in
     let outcomes = Xcverifier.verify_all ~config ?checkpoint ?resume () in
     List.iter (fun o -> Format.printf "%a@." Outcome.pp_summary o) outcomes;
@@ -373,8 +387,8 @@ let campaign_cmd =
        ~doc:"Verify every applicable condition for the paper's five DFAs")
     Term.(
       const run $ quick_arg $ fuel_arg $ threshold_arg $ delta_arg
-      $ deadline_arg $ save_arg $ checkpoint_arg $ resume_arg $ retries_arg
-      $ fuel_growth_arg $ fault_rate_arg $ fault_seed_arg)
+      $ deadline_arg $ split_arg $ save_arg $ checkpoint_arg $ resume_arg
+      $ retries_arg $ fuel_growth_arg $ fault_rate_arg $ fault_seed_arg)
 
 (* ---- replay ----------------------------------------------------------- *)
 

@@ -65,6 +65,7 @@ let () =
       workers = 1;
       use_taylor = false;
       use_tape = true;
+      split_heuristic = `Widest;
       retry = Verify.no_retry;
     }
   in

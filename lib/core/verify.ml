@@ -9,6 +9,7 @@ type config = {
   workers : int;
   use_taylor : bool;
   use_tape : bool;
+  split_heuristic : [ `Widest | `Smear ];
   retry : retry_policy;
 }
 
@@ -19,8 +20,9 @@ let default_config =
       { Icp.default_config with fuel = 600; delta = 1e-4; contractor_rounds = 3 };
     deadline_seconds = None;
     workers = 1;
-    use_taylor = false;
+    use_taylor = true;
     use_tape = true;
+    split_heuristic = `Widest;
     retry = no_retry;
   }
 
@@ -31,8 +33,9 @@ let quick_config =
       { Icp.default_config with fuel = 250; delta = 1e-3; contractor_rounds = 2 };
     deadline_seconds = Some 30.0;
     workers = 1;
-    use_taylor = false;
+    use_taylor = true;
     use_tape = true;
+    split_heuristic = `Widest;
     retry = no_retry;
   }
 
@@ -64,6 +67,7 @@ type task = {
   path : int list;
   width : float;
   margin : float;
+  smear : float;  (* max per-dimension smear score; 0.0 under `Widest *)
 }
 
 (* Widest-box-first; among boxes of equal width (siblings of one splitting
@@ -76,24 +80,54 @@ let schedule_order a b =
   | 0 -> Float.compare a.margin b.margin
   | c -> c
 
+(* Gradient-magnitude priority for the `Smear heuristic: workers drain the
+   boxes where the formula is steepest — the ones most likely to resolve
+   into a prune or a counterexample — first; {!schedule_order} breaks ties
+   so the order stays total and deterministic. *)
+let schedule_order_smear a b =
+  match Float.compare b.smear a.smear with
+  | 0 -> schedule_order a b
+  | c -> c
+
 let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
     ~domain ~(psi : Form.atom) () =
   let negated = [ Form.negate_atom psi ] in
-  let contractors =
-    if config.use_taylor then
-      List.map (fun a -> Taylor.contractor (Taylor.prepare a)) negated
-    else []
-  in
   (* Compile the negated formula once per (DFA, condition) pair — not per
      box — and hand the tape to every solver call through its config. The
      compiled form is immutable and shared by all worker domains. *)
+  let tape =
+    if config.use_tape then Some (Hc4.compile ~vars:(Box.vars domain) negated)
+    else None
+  in
+  let contractors =
+    if not config.use_taylor then []
+    else
+      match tape with
+      | Some compiled ->
+          (* tape-native mean-value contractor: one adjoint sweep per atom
+             instead of a symbolic-gradient tree walk per variable *)
+          [ Hc4.mean_value_tape compiled ]
+      | None ->
+          List.map
+            (fun a ->
+              Taylor.contractor (Taylor.prepare ~vars:(Box.vars domain) a))
+            negated
+  in
   let solver_config =
-    if config.use_tape then
-      {
-        config.solver with
-        Icp.tape = Some (Hc4.compile ~vars:(Box.vars domain) negated);
-      }
-    else config.solver
+    {
+      config.solver with
+      Icp.tape;
+      split_heuristic = config.split_heuristic;
+    }
+  in
+  (* Campaign-level smear priority: the task's key is its maximum
+     per-dimension smear score, from the same compiled tape the solver
+     replays. 0.0 (priority off) under `Widest or without a tape. *)
+  let smear_of box =
+    match (config.split_heuristic, tape) with
+    | `Smear, Some compiled ->
+        Array.fold_left Float.max 0.0 (Hc4.smear_scores compiled box)
+    | _ -> 0.0
   in
   let started = Unix.gettimeofday () in
   let deadline =
@@ -129,7 +163,18 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
     | _ -> 0.0
   in
   let children t =
-    let boxes = Box.split_all t.box in
+    let boxes =
+      match (config.split_heuristic, tape) with
+      | `Smear, Some compiled ->
+          (* bisect only the dimension of maximal smear: two children that
+             cut across the formula's steepest direction, instead of the
+             2^k blind split of every dimension *)
+          let b1, b2 =
+            Box.split_smear t.box ~scores:(Hc4.smear_scores compiled t.box)
+          in
+          [ b1; b2 ]
+      | _ -> Box.split_all t.box
+    in
     let boxes =
       List.stable_sort
         (fun (_, m1) (_, m2) -> Float.compare m1 m2)
@@ -144,6 +189,7 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
           path = t.path @ [ i ];
           width = Box.max_width b;
           margin = m;
+          smear = smear_of b;
         })
       boxes
   in
@@ -240,11 +286,17 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
       path = [];
       width = Box.max_width domain;
       margin = 0.0;
+      smear = smear_of domain;
     }
+  in
+  let compare =
+    match config.split_heuristic with
+    | `Widest -> schedule_order
+    | `Smear -> schedule_order_smear
   in
   let { Worklist.results; dropped } =
     Worklist.process ~workers:(Stdlib.max 1 config.workers)
-      ~compare:schedule_order ~stop:past_deadline ~recover ~handle [ root ]
+      ~compare ~stop:past_deadline ~recover ~handle [ root ]
   in
   (* Graceful drain: boxes still pending at the deadline are painted as
      timeouts (the old recursion's behaviour for boxes it reached after the

@@ -52,15 +52,27 @@ type config = {
       (** global wall budget for one (DFA, condition) pair *)
   workers : int;  (** OCaml domains executing sub-box solver calls *)
   use_taylor : bool;
-      (** add the mean-value-form contractor ({!Taylor}) to the solver's
-          contraction pipeline; helps on smooth conditions once boxes are
-          small, costs one symbolic gradient per pair up front *)
+      (** add the mean-value-form contractor to the solver's contraction
+          pipeline. With [use_tape] it is the tape-native
+          {!Hc4.mean_value_tape} (one adjoint sweep per atom); without, the
+          tree-walk {!Taylor.contractor} (one symbolic-gradient tree walk
+          per variable). On by default — the adjoint sweep made it cheap. *)
   use_tape : bool;
       (** compile the negated condition once per pair into an interval tape
           ({!Hc4.compile}) and have every solver call replay it instead of
           walking the expression trees — bit-identical paint logs, much
           cheaper contraction. On by default; turn off to run the reference
           tree-walking path (the equivalence tests do). *)
+  split_heuristic : [ `Widest | `Smear ];
+      (** how boxes split, at both levels of the search. [`Widest] (default):
+          the paper's blind split — campaign tasks split every dimension
+          ({!Box.split_all}), solver boxes bisect the widest dimension.
+          [`Smear]: Kearfott's maximal-smear rule — both levels bisect the
+          dimension maximizing [|∂f/∂x_i| * width(x_i)] (adjoint-tape
+          scores, {!Hc4.smear_scores}), and the worklist drains
+          steepest-boxes-first. Needs [use_tape]; degrades to widest-first
+          without it. Sound either way: the heuristic changes exploration
+          order, never verdict soundness. *)
   retry : retry_policy;
 }
 

@@ -60,6 +60,32 @@ let split_dim b i =
 
 let split b = split_dim b (widest_dim b)
 
+(* Kearfott's maximal-smear rule: split where the constraint is most
+   sensitive, |df/dx_i| * width(x_i). Scores come from the caller (the
+   adjoint tape); non-finite or non-positive scores never win, and when no
+   dimension has a usable score the choice degrades to widest-first — so
+   the heuristic can only change *which* sound split happens, never whether
+   one does. *)
+let smear_dim b ~scores =
+  if Array.length scores <> dim b then
+    invalid_arg "Box.smear_dim: score/dimension mismatch";
+  let best = ref (-1) and best_s = ref 0.0 in
+  Array.iteri
+    (fun i iv ->
+      let s = scores.(i) in
+      if
+        Interval.width iv > 0.0
+        && (not (Float.is_nan s))
+        && s > !best_s
+      then begin
+        best := i;
+        best_s := s
+      end)
+    b.ivs;
+  if !best >= 0 then !best else widest_dim b
+
+let split_smear b ~scores = split_dim b (smear_dim b ~scores)
+
 let split_all b =
   let splittable i =
     let iv = b.ivs.(i) in
@@ -81,6 +107,9 @@ let split_all b =
 let midpoint b =
   Array.to_list
     (Array.map2 (fun n iv -> (n, Interval.midpoint iv)) b.names b.ivs)
+
+let midpoint_box b =
+  { b with ivs = Array.map (fun iv -> Interval.point (Interval.midpoint iv)) b.ivs }
 
 let mem point b =
   let n = Array.length b.names in

@@ -48,6 +48,18 @@ val split : t -> t * t
 (** [split_dim box i] bisects along dimension [i]. *)
 val split_dim : t -> int -> t * t
 
+(** [smear_dim box ~scores] is the dimension of maximal smear — Kearfott's
+    [|df/dx_i| * width(x_i)], with [scores.(i)] the caller's smear value for
+    dimension [i] (e.g. from {!Itape.eval_gradient}). Point dimensions and
+    non-finite or non-positive scores are skipped; if no dimension has a
+    usable score the choice falls back to {!widest_dim}.
+    @raise Invalid_argument when [scores] does not match the box dimension,
+    or (via the fallback) when all dimensions are points. *)
+val smear_dim : t -> scores:float array -> int
+
+(** [split_smear box ~scores] bisects along {!smear_dim}. *)
+val split_smear : t -> scores:float array -> t * t
+
 (** [split_all box] bisects along {e every} splittable dimension at once —
     [2^k] children — matching the paper's [split(D)], which "partitions each
     input dimension of D into two equal parts". *)
@@ -55,6 +67,10 @@ val split_all : t -> t list
 
 (** [midpoint box] is the centre point, as an assignment. *)
 val midpoint : t -> (string * float) list
+
+(** [midpoint_box box] is the centre point as a degenerate box (same
+    variable order), the linearization point of the mean-value form. *)
+val midpoint_box : t -> t
 
 (** [mem point box] tests pointwise membership (ignores extra bindings in
     [point]). *)

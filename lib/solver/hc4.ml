@@ -290,6 +290,39 @@ let statuses_on compiled box =
    atom's own variable domains: re-running a clean atom would return the
    box unchanged, which is exactly what the tree path's re-run does. Only
    [revise_calls] drops. *)
+(* The tape-native mean-value contractor: one adjoint sweep per atom gives
+   every partial at once, replacing the per-variable symbolic-gradient tree
+   walks of [Taylor.contractor]. Used as a pipeline stage after the HC4
+   agenda, exactly where the tree-walk Taylor stage used to sit. *)
+let mean_value_tape compiled box =
+  let nprogs = Array.length compiled.progs in
+  let rec go box j =
+    if j >= nprogs then Contracted box
+    else
+      match Itape.contract_mvf compiled.progs.(j) box with
+      | Itape.Infeasible -> Infeasible
+      | Itape.Contracted box' -> go box' (j + 1)
+  in
+  go box 0
+
+(* Kearfott smear values, summed over atoms: scores.(i) bounds how much the
+   formula can vary across dimension i. Unbounded partials give an infinite
+   score (that dimension dominates); dimensions no atom reads keep 0. The
+   0 * infinity products of a zero-magnitude partial on an unbounded
+   dimension are NaN and are skipped. *)
+let smear_scores compiled box =
+  let scores = Array.make (Box.dim box) 0.0 in
+  Array.iter
+    (fun prog ->
+      let g = Itape.eval_gradient prog box in
+      Array.iteri
+        (fun i p ->
+          let s = Interval.mag p *. Interval.width (Box.get_idx box i) in
+          if not (Float.is_nan s) then scores.(i) <- scores.(i) +. s)
+        g.Itape.partials)
+    compiled.progs;
+  scores
+
 let contract_tape ?counters:cnt compiled box ~rounds =
   let count_revise () =
     match cnt with Some c -> c.revise_calls <- c.revise_calls + 1 | None -> ()

@@ -69,3 +69,16 @@ val statuses_on : compiled -> Box.t -> [ `Holds | `Fails | `Unknown ] list
     the same [sweeps] but typically far fewer [revise_calls]. *)
 val contract_tape :
   ?counters:counters -> compiled -> Box.t -> rounds:int -> result
+
+(** [mean_value_tape compiled box] applies {!Itape.contract_mvf} — the
+    mean-value-form contractor driven by the adjoint sweep — for every
+    compiled atom in turn. The tape-native replacement for a pipeline of
+    tree-walk [Taylor.contractor] stages. *)
+val mean_value_tape : compiled -> Box.t -> result
+
+(** [smear_scores compiled box] is Kearfott's smear value per box dimension:
+    [Σ_atoms mag(∂atom/∂x_i) * width(x_i)], from one adjoint sweep per atom.
+    Feed to {!Box.split_smear} / {!Box.smear_dim} to split where the formula
+    is most sensitive. Scores are [0] for dimensions no atom reads and never
+    NaN. *)
+val smear_scores : compiled -> Box.t -> float array

@@ -18,6 +18,7 @@ type config = {
   sample_check : bool;
   faults : Fault.plan option;
   tape : Hc4.compiled option;
+  split_heuristic : [ `Widest | `Smear ];
 }
 
 let default_config =
@@ -28,18 +29,21 @@ let default_config =
     sample_check = true;
     faults = Fault.of_env ();
     tape = None;
+    split_heuristic = `Widest;
   }
 
 (* A stable identity for a solver call: the box bounds, bit-exact. Fault
    decisions keyed on it are independent of scheduling order, so injected
-   failures hit the same boxes at every worker count. *)
+   failures hit the same boxes at every worker count. Bounds are collected
+   positionally (same order as the variable list) — no name lookups. *)
 let fault_key box =
-  Fault.key_of
-    (List.concat_map
-       (fun v ->
-         let iv = Box.get box v in
-         [ Interval.inf iv; Interval.sup iv ])
-       (Box.vars box))
+  let rec bounds i acc =
+    if i < 0 then acc
+    else
+      let iv = Box.get_idx box i in
+      bounds (i - 1) (Interval.inf iv :: Interval.sup iv :: acc)
+  in
+  Fault.key_of (bounds (Box.dim box - 1) [])
 
 let solve_real ~contractors cfg box formula =
   let expansions = ref 0 and prunes = ref 0 and max_depth = ref 0 in
@@ -114,7 +118,13 @@ let solve_real ~contractors cfg box formula =
                     (* δ-SAT: cannot decide at this resolution. *)
                     (Sat { model = mid; certified = false }, stats ())
                   else begin
-                    let b1, b2 = Box.split box in
+                    let b1, b2 =
+                      match (cfg.split_heuristic, cfg.tape) with
+                      | `Smear, Some compiled ->
+                          Box.split_smear box
+                            ~scores:(Hc4.smear_scores compiled box)
+                      | _ -> Box.split box
+                    in
                     loop ((b1, depth + 1) :: (b2, depth + 1) :: rest)
                   end
                 end

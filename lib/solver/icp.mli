@@ -17,8 +17,8 @@
       deterministic, machine-independent measure.
 
     The search is depth-first; each expanded box is first narrowed by the
-    {!Hc4} contractor, then tested, then bisected along its widest
-    dimension. A floating-point sample at the box midpoint accelerates SAT
+    {!Hc4} contractor, then tested, then bisected along the dimension the
+    configured [split_heuristic] picks (widest-first by default). A floating-point sample at the box midpoint accelerates SAT
     detection (counterexamples in large violation regions are typically found
     within a handful of expansions). *)
 
@@ -51,6 +51,13 @@ type config = {
           formula must match [formula] and the box's variable order; the
           verifier compiles it once per (DFA, condition) pair. [None] in
           [default_config]. *)
+  split_heuristic : [ `Widest | `Smear ];
+      (** which dimension to bisect: [`Widest] (the default, the paper's
+          blind widest-first rule) or [`Smear] — Kearfott's maximal-smear
+          rule [|∂f/∂x_i| * width(x_i)] fed by the adjoint tape
+          ({!Hc4.smear_scores}). [`Smear] needs [tape]; without one it
+          silently degrades to widest-first. Both splits are sound — the
+          heuristic changes exploration order, never verdict soundness. *)
 }
 
 val default_config : config

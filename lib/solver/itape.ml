@@ -153,6 +153,8 @@ let slots prog = prog.slots
 type scratch = {
   mutable fwd : Interval.t array;
   mutable req : Interval.t array;
+  mutable adj : Interval.t array;
+      (* adjoint registers of the reverse-mode gradient sweep *)
   mutable visited : bool array;
   mutable nary : Interval.t array;
       (* suffix-fold buffer for n-ary backward contributions *)
@@ -160,13 +162,14 @@ type scratch = {
 
 let scratch_key =
   Domain.DLS.new_key (fun () ->
-      { fwd = [||]; req = [||]; visited = [||]; nary = [||] })
+      { fwd = [||]; req = [||]; adj = [||]; visited = [||]; nary = [||] })
 
 let ensure_capacity s n =
   if Array.length s.fwd < n then begin
     let m = Stdlib.max n (2 * Array.length s.fwd) in
     s.fwd <- Array.make m Interval.empty;
     s.req <- Array.make m Interval.empty;
+    s.adj <- Array.make m Interval.empty;
     s.visited <- Array.make m false
   end
 
@@ -424,3 +427,252 @@ let eval prog box =
   s.fwd.(prog.root)
 
 let status_on prog box = Form.status_of_interval (eval prog box) prog.rel
+
+(* ------------------------------------------------------------------ *)
+(* Reverse-mode adjoint sweep                                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_zero_point iv =
+  (not (Interval.is_empty iv))
+  && Interval.inf iv = 0.0
+  && Interval.sup iv = 0.0
+
+(* Interval enclosure of the local derivative of [op] at input [fa], where
+   [fi] is the node's own forward value (reused where the derivative is a
+   function of the result, e.g. exp' = exp). The rules mirror [Deriv.diff]
+   evaluated by [Ieval.eval], so adjoints enclose the same slope sets as the
+   symbolic-gradient tree walk. Abs over a sign-straddling input takes the
+   Lipschitz hull [-1, 1] — exactly what Ieval produces for the piecewise
+   that Deriv emits. *)
+let d_unop op fa fi =
+  match op with
+  | Exp -> fi
+  | Log -> Interval.inv fa
+  | Sin -> Ieval.apply_unop Cos fa
+  | Cos -> Interval.neg (Ieval.apply_unop Sin fa)
+  | Tanh -> Interval.sub Interval.one (Interval.pow_int fi 2)
+  | Atan -> Interval.inv (Interval.add Interval.one (Interval.pow_int fa 2))
+  | Abs ->
+      if Interval.certainly_ge fa 0.0 then Interval.one
+      else if Interval.certainly_lt fa 0.0 then Interval.point (-1.0)
+      else Interval.make (-1.0) 1.0
+  | Lambert_w ->
+      Interval.inv
+        (Interval.mul (Interval.add Interval.one fi) (Ieval.apply_unop Exp fi))
+
+(* One reverse walk over an already-filled forward register file computes
+   interval enclosures of every partial d(root)/d(register) simultaneously.
+   Registers are emitted children-first, so the downward scan visits parents
+   before children and each adjoint is final when read. Exact-zero adjoints
+   are skipped: their chain-rule contribution is exactly 0, and skipping
+   avoids 0 * unbounded widening. Returns [false] when some piecewise guard
+   is undecided over the box: the partials then enclose the slopes of every
+   still-selectable branch (weighted by [0, 1]) — fine for the smear split
+   heuristic, but not a derivative of the (possibly non-differentiable)
+   select, so the mean-value contractor must not use them. *)
+let adjoint_pass instrs (fwd : Interval.t array) (adj : Interval.t array) s
+    root n =
+  Array.fill adj 0 n Interval.zero;
+  adj.(root) <- Interval.one;
+  let decided = ref true in
+  let accum c v = adj.(c) <- Interval.add adj.(c) v in
+  for i = n - 1 downto 0 do
+    let a = adj.(i) in
+    if not (is_zero_point a) then
+      match instrs.(i) with
+      | Iconst _ | Ivar _ -> ()
+      | Iadd regs -> Array.iter (fun c -> accum c a) regs
+      | Imul regs ->
+          let m = Array.length regs in
+          let suffix = nary_buffer s (m + 1) in
+          suffix.(m) <- Interval.one;
+          for j = m - 1 downto 0 do
+            suffix.(j) <- Interval.mul fwd.(regs.(j)) suffix.(j + 1)
+          done;
+          let prefix = ref Interval.one in
+          for j = 0 to m - 1 do
+            let others = Interval.mul !prefix suffix.(j + 1) in
+            accum regs.(j) (Interval.mul a others);
+            if j < m - 1 then prefix := Interval.mul !prefix fwd.(regs.(j))
+          done
+      | Ipow { base; expo; const_expo } -> (
+          match const_expo with
+          | Some p ->
+              if p <> 0.0 then begin
+                (* d/db b^p = p * b^(p-1) *)
+                let q = p -. 1.0 in
+                let bq =
+                  if Float.is_integer q && Float.abs q <= 1073741823.0 then
+                    Interval.pow_int fwd.(base) (int_of_float q)
+                  else Interval.pow fwd.(base) q
+                in
+                accum base (Interval.mul a (Interval.mul (Interval.point p) bq))
+              end
+          | None ->
+              (* d/db b^x = x * b^(x-1) = fi * x / b ; d/dx b^x = fi * ln b *)
+              let fb = fwd.(base) and fx = fwd.(expo) and fi = fwd.(i) in
+              accum base
+                (Interval.mul a
+                   (Interval.mul fi (Interval.mul fx (Interval.inv fb))));
+              accum expo
+                (Interval.mul a (Interval.mul fi (Ieval.apply_unop Log fb))))
+      | Iunop (op, c) -> accum c (Interval.mul a (d_unop op fwd.(c) fwd.(i)))
+      | Iselect { branches; default } ->
+          (* A certainly-True guard makes its branch f on the whole box and
+             stops the walk. Undecided guards leave several branches
+             selectable: each still-possible body gets its adjoint weighted
+             by [0, 1] (it is the active slope on part of the box at most)
+             and the sweep is flagged undecided. Guard condition subtrees
+             get no contribution — Deriv.diff never differentiates guards. *)
+          let weight = Interval.make 0.0 1.0 in
+          let rec walk certain idx =
+            if idx >= Array.length branches then
+              accum default (if certain then a else Interval.mul a weight)
+            else begin
+              let c, rel, b = branches.(idx) in
+              match Ieval.guard_status_of_interval rel fwd.(c) with
+              | `True -> accum b (if certain then a else Interval.mul a weight)
+              | `False -> walk certain (idx + 1)
+              | `Unknown ->
+                  decided := false;
+                  accum b (Interval.mul a weight);
+                  walk false (idx + 1)
+            end
+          in
+          walk true 0
+  done;
+  !decided
+
+(* Conservative pre-scan over a filled forward register file: does any
+   select in the tape have an undecided guard? Mirrors the guard walk of
+   [adjoint_pass] (a certainly-True guard shadows everything after it) but
+   covers every select, reachable from the root or not — exactly the
+   precollected-guard semantics of [Taylor.contract]. Lets the mean-value
+   contractor bail before paying for the adjoint and midpoint passes on
+   boxes where it would degrade to the identity anyway; on piecewise-heavy
+   DFAs (SCAN) that is most boxes near the seams. *)
+let selects_undecided instrs (fwd : Interval.t array) n =
+  let undecided = ref false in
+  (try
+     for i = 0 to n - 1 do
+       match instrs.(i) with
+       | Iselect { branches; _ } ->
+           let rec walk idx =
+             if idx < Array.length branches then
+               let c, rel, _ = branches.(idx) in
+               match Ieval.guard_status_of_interval rel fwd.(c) with
+               | `True -> ()
+               | `False -> walk (idx + 1)
+               | `Unknown ->
+                   undecided := true;
+                   raise Exit
+           in
+           walk 0
+       | _ -> ()
+     done
+   with Exit -> ());
+  !undecided
+
+type gradient = {
+  value : Interval.t;
+  partials : Interval.t array;
+  decided : bool;
+}
+
+let eval_gradient prog box =
+  let s = Domain.DLS.get scratch_key in
+  let n = Array.length prog.instrs in
+  ensure_capacity s n;
+  forward_pass prog.instrs s.fwd box n;
+  let decided = adjoint_pass prog.instrs s.fwd s.adj s prog.root n in
+  let partials = Array.make (Box.dim box) Interval.zero in
+  Array.iter
+    (fun (reg, slot) -> partials.(slot) <- s.adj.(reg))
+    prog.var_regs;
+  { value = s.fwd.(prog.root); partials; decided }
+
+(* Tape-native mean-value-form contraction:
+     f(X) ⊆ f(m) + Σ_i G_i (X_i − m_i)
+   with G the adjoint partials from one reverse sweep — replacing the
+   per-variable symbolic-gradient tree walks of [Taylor.contract]. The
+   linear form is solved for each read variable with the relational
+   {!Interval.div_rel}, so dimensions whose gradient encloses 0 still
+   contract soundly: a strictly straddling gradient yields top (a no-op)
+   and a half-open one genuine progress. Degrades to an identity
+   contraction whenever the mean value form is not valid on the box: an
+   undecided piecewise guard (f may not be differentiable there), a
+   midpoint outside the expression's domain, or an empty partial. *)
+let contract_mvf prog box =
+  let s = Domain.DLS.get scratch_key in
+  let n = Array.length prog.instrs in
+  ensure_capacity s n;
+  forward_pass prog.instrs s.fwd box n;
+  if prog.has_select && selects_undecided prog.instrs s.fwd n then
+    Contracted box
+  else if not (adjoint_pass prog.instrs s.fwd s.adj s prog.root n) then
+    Contracted box
+  else begin
+    let k = Array.length prog.var_regs in
+    let g = Array.make k Interval.empty in
+    let dx = Array.make k Interval.empty in
+    let mids = Array.make k 0.0 in
+    let degenerate = ref false in
+    Array.iteri
+      (fun j (reg, slot) ->
+        let gi = s.adj.(reg) in
+        if Interval.is_empty gi then degenerate := true
+        else begin
+          g.(j) <- gi;
+          let xi = Box.get_idx box slot in
+          let mi = Interval.midpoint xi in
+          mids.(j) <- mi;
+          dx.(j) <-
+            Interval.of_bounds
+              (Interval.lo_down (Interval.inf xi -. mi))
+              (Interval.hi_up (Interval.sup xi -. mi))
+        end)
+      prog.var_regs;
+    if !degenerate then Contracted box
+    else begin
+      (* f at the midpoint: one more forward replay on the degenerate
+         midpoint box (the adjoints were already copied out above). *)
+      forward_pass prog.instrs s.fwd (Box.midpoint_box box) n;
+      let fm = s.fwd.(prog.root) in
+      if Interval.is_empty fm then Contracted box
+      else begin
+        let terms = Array.init k (fun j -> Interval.mul g.(j) dx.(j)) in
+        let prefix = Array.make (k + 1) fm in
+        for j = 0 to k - 1 do
+          prefix.(j + 1) <- Interval.add prefix.(j) terms.(j)
+        done;
+        let suffix = Array.make (k + 1) Interval.zero in
+        for j = k - 1 downto 0 do
+          suffix.(j) <- Interval.add terms.(j) suffix.(j + 1)
+        done;
+        if Interval.is_empty (Interval.meet prefix.(k) prog.target) then
+          Infeasible
+        else begin
+          (* Solve the linear form for each variable in turn:
+             g_j (x_j - m_j) in target - f(m) - sum_{i<>j} terms_i. *)
+          let box' = ref box in
+          let infeasible = ref false in
+          Array.iteri
+            (fun j (_, slot) ->
+              if not !infeasible then begin
+                let others = Interval.add prefix.(j) suffix.(j + 1) in
+                let rhs =
+                  Interval.div_rel (Interval.sub prog.target others) g.(j)
+                in
+                let shifted = Interval.add rhs (Interval.point mids.(j)) in
+                let xi = Box.get_idx !box' slot in
+                let narrowed = Interval.meet xi shifted in
+                if Interval.is_empty narrowed then infeasible := true
+                else if not (Interval.equal narrowed xi) then
+                  box' := Box.set_idx !box' slot narrowed
+              end)
+            prog.var_regs;
+          if !infeasible then Infeasible else Contracted !box'
+        end
+      end
+    end
+  end

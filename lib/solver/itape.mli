@@ -47,6 +47,33 @@ val eval : t -> Box.t -> Interval.t
     solver's per-box certainty test without the tree walk. *)
 val status_on : t -> Box.t -> [ `Holds | `Fails | `Unknown ]
 
+(** {1 Reverse-mode adjoint sweep} *)
+
+type gradient = {
+  value : Interval.t;  (** forward enclosure of the atom's expression *)
+  partials : Interval.t array;
+      (** one per box dimension (zero for dimensions the atom never reads):
+          a sound enclosure of [∂expr/∂x_i] over the box wherever [decided] *)
+  decided : bool;
+      (** [false] when some piecewise guard is undecided over the box; the
+          partials then bound the slopes of every still-selectable branch —
+          usable as a splitting heuristic, not as a derivative *)
+}
+
+(** [eval_gradient prog box] computes the forward enclosure and {e all}
+    partial derivatives in one forward plus one backward tape replay,
+    instead of one symbolic-gradient tree walk per variable. *)
+val eval_gradient : t -> Box.t -> gradient
+
+(** [contract_mvf prog box] is the tape-native mean-value-form contractor:
+    [f(X) ⊆ f(m) + Σ G_i (X_i − m_i)] with [G] the adjoint partials, solved
+    per dimension with the relational {!Interval.div_rel} (so gradients that
+    enclose 0 still contract soundly instead of being skipped). Degrades to
+    an identity contraction when the mean value form is invalid on the box:
+    undecided piecewise guard, midpoint outside the expression's domain, or
+    an empty partial. *)
+val contract_mvf : t -> Box.t -> result
+
 (** {1 Shared backward machinery}
 
     Used by both the tree walker and the tape replay, so the two paths

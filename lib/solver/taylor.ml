@@ -2,7 +2,10 @@ open Expr
 
 type prepared = {
   atom : Form.atom;
-  grads : (string * Expr.t) list;
+  grads : (int * Expr.t) list;
+      (** (box dimension, symbolic gradient) per free variable — dimensions
+          are resolved once at prepare time so the per-box hot path never
+          does a name lookup *)
   guards : Expr.guard list;  (** every piecewise guard inside the atom *)
 }
 
@@ -14,10 +17,19 @@ let collect_guards e =
       | _ -> acc)
     e []
 
-let prepare (atom : Form.atom) =
+let prepare ~vars (atom : Form.atom) =
+  let slot_of v =
+    let rec find i = function
+      | [] ->
+          invalid_arg (Printf.sprintf "Taylor.prepare: unbound variable %S" v)
+      | v' :: rest -> if String.equal v v' then i else find (i + 1) rest
+    in
+    find 0 vars
+  in
   let grads =
     List.map
-      (fun v -> (v, Simplify.simplify (Deriv.diff ~wrt:v atom.Form.expr)))
+      (fun v ->
+        (slot_of v, Simplify.simplify (Deriv.diff ~wrt:v atom.Form.expr)))
       (Expr.vars atom.Form.expr)
   in
   { atom; grads; guards = collect_guards atom.Form.expr }
@@ -38,18 +50,18 @@ let differentiable prepared env =
     prepared.guards
 
 let deviations prepared box =
-  (* (variable, gradient enclosure, X_i - m_i) per dimension. *)
+  (* (box dimension, gradient enclosure, X_i - m_i) per dimension. *)
   let env = Box.to_env box in
   List.map
-    (fun (v, grad) ->
-      let xi = Box.get box v in
+    (fun (slot, grad) ->
+      let xi = Box.get_idx box slot in
       let mi = Interval.midpoint xi in
       let centred =
         Interval.of_bounds
           (Interval.lo_down (Interval.inf xi -. mi))
           (Interval.hi_up (Interval.sup xi -. mi))
       in
-      (v, Ieval.eval env grad, centred))
+      (slot, Ieval.eval env grad, centred))
     prepared.grads
 
 let midpoint_env box =
@@ -105,18 +117,22 @@ let contract prepared box =
         let box' = ref box in
         let infeasible = ref false in
         List.iteri
-          (fun i (v, g, _) ->
-            if (not !infeasible) && not (Interval.mem 0.0 g) then begin
+          (fun i (slot, g, _) ->
+            if not !infeasible then begin
               let others = Interval.add prefix.(i) suffix.(i + 1) in
-              let rhs = Interval.div (Interval.sub target others) g in
-              let xi = Box.get !box' v in
+              (* Relational division: a gradient enclosing 0 no longer
+                 skips the dimension. Strictly straddling gradients give
+                 top (a sound no-op), half-open ones ([0, k]) genuine
+                 contraction, and g = {0} with 0 outside the numerator a
+                 correct infeasibility proof. *)
+              let rhs = Interval.div_rel (Interval.sub target others) g in
+              let xi = Box.get_idx !box' slot in
               let mi = Interval.midpoint xi in
-              let shifted =
-                Interval.add rhs (Interval.point mi)
-              in
+              let shifted = Interval.add rhs (Interval.point mi) in
               let narrowed = Interval.meet xi shifted in
               if Interval.is_empty narrowed then infeasible := true
-              else box' := Box.set !box' v narrowed
+              else if not (Interval.equal narrowed xi) then
+                box' := Box.set_idx !box' slot narrowed
             end)
           devs;
         if !infeasible then Hc4.Infeasible else Hc4.Contracted !box'

@@ -10,9 +10,11 @@
     which is tighter than the natural extension when the box is small (its
     overestimate shrinks quadratically with box width instead of linearly).
     Besides the sharper satisfiability test, the linear form can be solved
-    for each variable, contracting [X_i] whenever the gradient component
-    does not straddle zero — a Newton-like step the plain HC4 contractor
-    cannot make.
+    for each variable through the relational division {!Interval.div_rel} —
+    a Newton-like step the plain HC4 contractor cannot make. Gradient
+    components that enclose zero still contract soundly: a strictly
+    straddling gradient yields top (a no-op), a half-open one genuine
+    progress.
 
     Soundness requires differentiability on the box: a prepared contractor
     detects piecewise subterms whose guards are undecided over the box and
@@ -25,9 +27,12 @@
 
 type prepared
 
-(** [prepare atom] differentiates the atom's expression with respect to
-    each of its free variables and records its piecewise guards. *)
-val prepare : Form.atom -> prepared
+(** [prepare ~vars atom] differentiates the atom's expression with respect
+    to each of its free variables, resolves each variable to its dimension
+    in the box variable order [vars] (so per-box access is positional, no
+    name lookups in the hot path), and records the piecewise guards.
+    @raise Invalid_argument when the atom reads a variable not in [vars]. *)
+val prepare : vars:string list -> Form.atom -> prepared
 
 (** [contract prepared box] returns a contracted box or proves the atom
     unsatisfiable on it. The result never excludes a point of [box]

@@ -16,6 +16,7 @@ let () =
       ("solver", Test_solver.suite);
       ("itape", Test_itape.suite);
       ("taylor", Test_taylor.suite);
+      ("adjoint", Test_adjoint.suite);
       ("functionals", Test_functionals.suite);
       ("spin", Test_spin.suite);
       ("conditions", Test_conditions.suite);

@@ -1,0 +1,273 @@
+(* Reverse-mode adjoint sweep over the interval tape, and the two consumers
+   built on it: the tape-native mean-value contractor and smear-guided
+   splitting.
+
+   Soundness oracles, from cheapest to deepest:
+   - forward-mode dual numbers ([Dual.eval]) give the true pointwise
+     derivative at box midpoints; every adjoint partial must enclose it;
+   - the symbolic gradient ([Deriv.diff] + [Ieval.eval]) gives an
+     independent interval enclosure; on point boxes the two must agree to
+     rounding;
+   - the mean-value contractor must never lose a certified satisfying
+     point, and must handle gradients that straddle zero (the relational
+     division regression);
+   - smear splitting may change the exploration order but never the verdict
+     class, and keeps paint logs byte-identical at every worker count. *)
+
+open Testutil
+open Expr
+
+let x = var "x"
+let y = var "y"
+let iv = Interval.make
+let box2 (xl, xh) (yl, yh) = Box.make [ ("x", iv xl xh); ("y", iv yl yh) ]
+
+(* rel 1e-9 + abs 1e-9 slack: the oracles compute in float arithmetic with
+   different operation orders, so exact containment at the bounds is not a
+   meaningful ask. *)
+let widen i =
+  let pad v = if Float.is_finite v then (1e-9 *. Float.abs v) +. 1e-9 else 0.0 in
+  let lo = Interval.inf i and hi = Interval.sup i in
+  iv (lo -. pad lo) (hi +. pad hi)
+
+let gradient_of e b = Itape.eval_gradient (Itape.compile ~vars:[ "x"; "y" ] (Form.le e)) b
+
+let symbolic_partial e v b =
+  Ieval.eval (Box.to_env b) (Simplify.simplify (Deriv.diff ~wrt:v e))
+
+(* ------------------------------------------------------------------ *)
+(* Adjoint partials vs the forward-mode and symbolic oracles *)
+
+let prop_adjoint_contains_dual =
+  qcheck ~count:500 "adjoint partials enclose dual-number derivatives"
+    QCheck2.Gen.(
+      tup4 expr_gen (float_range 0.0 1.0) (float_range 0.0 1.0)
+        (float_range 0.0 0.5))
+    (fun (e, lx, ly, w) ->
+      let b = box2 (lx, lx +. w) (ly, ly +. w) in
+      let g = gradient_of e b in
+      let mid = Box.midpoint b in
+      List.for_all
+        (fun (i, v) ->
+          let p = g.Itape.partials.(i) in
+          let d = (Dual.eval mid ~wrt:v e).Dual.d in
+          if not (Float.is_finite d) then true
+          else if Interval.is_empty p then
+            (* an empty partial only ever means the forward value itself
+               left the domain somewhere in the chain *)
+            true
+          else
+            Interval.mem d (widen p)
+            &&
+            (* same claim against the independent symbolic enclosure *)
+            let ds = symbolic_partial e v b in
+            Interval.is_empty ds || Interval.mem d (widen ds))
+        [ (0, "x"); (1, "y") ])
+
+let prop_adjoint_matches_symbolic_at_point =
+  qcheck ~count:300 "adjoint agrees with symbolic gradient on point boxes"
+    QCheck2.Gen.(tup3 expr_gen (float_range 0.0 1.0) (float_range 0.0 1.0))
+    (fun (e, px, py) ->
+      let b = box2 (px, px) (py, py) in
+      let g = gradient_of e b in
+      List.for_all
+        (fun (i, v) ->
+          let p = g.Itape.partials.(i) in
+          let ds = symbolic_partial e v b in
+          let unbounded j =
+            (not (Float.is_finite (Interval.inf j)))
+            || not (Float.is_finite (Interval.sup j))
+          in
+          if Interval.is_empty p || Interval.is_empty ds then true
+          else if unbounded p || unbounded ds then true
+          else Interval.subset p (widen ds) && Interval.subset ds (widen p))
+        [ (0, "x"); (1, "y") ])
+
+(* ------------------------------------------------------------------ *)
+(* The mean-value contractor on the tape *)
+
+let test_mvf_newton_step () =
+  (* 2x - 1 <= 0 on [0.4, 0.6]: the linear solve cuts at x = 0.5 *)
+  let prog = Itape.compile ~vars:[ "x" ] (Form.le (sub (mul two x) one)) in
+  match Itape.contract_mvf prog (Box.make [ ("x", iv 0.4 0.6) ]) with
+  | Itape.Infeasible -> Alcotest.fail "feasible"
+  | Itape.Contracted b ->
+      let xi = Box.get b "x" in
+      check_true "upper bound near 0.5"
+        (Interval.sup xi <= 0.5001 && Interval.sup xi >= 0.4999);
+      check_close "lower bound kept" 0.4 (Interval.inf xi)
+
+let test_mvf_infeasible () =
+  (* x - x^2 + 1 in [1, 1.25] on [0.4, 0.6]: <= 0 is impossible *)
+  let prog =
+    Itape.compile ~vars:[ "x" ] (Form.le (add (sub x (sqr x)) one))
+  in
+  match Itape.contract_mvf prog (Box.make [ ("x", iv 0.4 0.6) ]) with
+  | Itape.Infeasible -> ()
+  | Itape.Contracted _ -> Alcotest.fail "should prove infeasible"
+
+let test_straddling_gradient_contracts () =
+  (* x^2 - 0.5 <= 0. On [0, 2] the gradient enclosure of 2x straddles zero
+     (outward rounding pushes the lower bound just below 0), so relational
+     division yields top: the dimension must survive as a sound no-op — the
+     old mem-zero skip crashed through the same path by silently ignoring
+     the dimension, and the point of div_rel is that both the no-op and the
+     infeasibility sub-cases now fall out of one sound formula. Tree walk
+     and tape must agree exactly. On [0.25, 2] the gradient is strictly
+     positive and the same solve makes a genuine cut (true bound is
+     sqrt(0.5) ~ 0.7071). *)
+  let f = sub (sqr x) (const 0.5) in
+  let tree b = Taylor.contract (Taylor.prepare ~vars:[ "x" ] (Form.le f)) b in
+  let tape b =
+    match Itape.contract_mvf (Itape.compile ~vars:[ "x" ] (Form.le f)) b with
+    | Itape.Infeasible -> Hc4.Infeasible
+    | Itape.Contracted b' -> Hc4.Contracted b'
+  in
+  let straddle = Box.make [ ("x", iv 0.0 2.0) ] in
+  (match (tree straddle, tape straddle) with
+  | Hc4.Contracted bt, Hc4.Contracted bv ->
+      check_true "straddle: keeps sqrt(0.5)"
+        (Interval.mem (Float.sqrt 0.5) (Box.get bt "x"));
+      check_true "straddle: keeps 0" (Interval.mem 0.0 (Box.get bt "x"));
+      check_true "straddle: tree and tape agree" (Box.equal bt bv)
+  | _ -> Alcotest.fail "straddle: must stay feasible");
+  let offset = Box.make [ ("x", iv 0.25 2.0) ] in
+  let check_cut label = function
+    | Hc4.Infeasible -> Alcotest.failf "%s: feasible" label
+    | Hc4.Contracted b ->
+        let xi = Box.get b "x" in
+        check_true (label ^ ": cut below 0.95") (Interval.sup xi <= 0.95);
+        check_true (label ^ ": keeps sqrt(0.5)")
+          (Interval.mem (Float.sqrt 0.5) xi)
+  in
+  check_cut "tree walk" (tree offset);
+  check_cut "tape" (tape offset)
+
+let prop_mvf_soundness =
+  qcheck "contract_mvf never loses certified solutions"
+    QCheck2.Gen.(tup3 expr_gen (float_range 0.0 1.0) (float_range 0.0 1.0))
+    (fun (e, px, py) ->
+      let atom = Form.le e in
+      let prog = Itape.compile ~vars:[ "x"; "y" ] atom in
+      let unit_box = box2 (0.0, 1.0) (0.0, 1.0) in
+      let point = [ ("x", px); ("y", py) ] in
+      let env = List.map (fun (v, q) -> (v, Interval.point q)) point in
+      let i = Ieval.eval env e in
+      if (not (Interval.is_empty i)) && Interval.certainly_lt i 0.0 then
+        match Itape.contract_mvf prog unit_box with
+        | Itape.Infeasible -> false
+        | Itape.Contracted b -> Box.mem point b
+      else true)
+
+(* ------------------------------------------------------------------ *)
+(* Smear splitting primitives *)
+
+let test_smear_dim_follows_gradient () =
+  (* equal widths, so widest_dim cannot discriminate: the smear scores
+     must route the split to the steep dimension, whichever it is *)
+  let b = box2 (0.0, 1.0) (0.0, 1.0) in
+  let scores_for e =
+    let g = gradient_of e b in
+    Array.mapi
+      (fun i p -> Interval.mag p *. Interval.width (Box.get_idx b i))
+      g.Itape.partials
+  in
+  let steep_x = scores_for (add (mul (const 10.0) x) y) in
+  Alcotest.(check int) "steep x picks dim 0" 0 (Box.smear_dim b ~scores:steep_x);
+  let steep_y = scores_for (add x (mul (const 10.0) y)) in
+  Alcotest.(check int) "steep y picks dim 1" 1 (Box.smear_dim b ~scores:steep_y)
+
+let test_smear_dim_fallback () =
+  let b = box2 (0.0, 1.0) (0.0, 2.0) in
+  Alcotest.(check int) "all-zero scores fall back to widest"
+    (Box.widest_dim b)
+    (Box.smear_dim b ~scores:[| 0.0; 0.0 |]);
+  Alcotest.(check int) "NaN scores fall back to widest" (Box.widest_dim b)
+    (Box.smear_dim b ~scores:[| Float.nan; Float.nan |])
+
+let test_midpoint_box () =
+  let b = box2 (0.0, 1.0) (2.0, 4.0) in
+  let m = Box.midpoint_box b in
+  check_close "x midpoint" 0.5 (Interval.inf (Box.get m "x"));
+  check_close "x is a point" 0.5 (Interval.sup (Box.get m "x"));
+  check_close "y midpoint" 3.0 (Interval.inf (Box.get m "y"));
+  Alcotest.(check (list string)) "same variable order" (Box.vars b)
+    (Box.vars m)
+
+(* ------------------------------------------------------------------ *)
+(* Smear vs widest on real pairs: same verdict class, deterministic logs *)
+
+let pair_config ~split_heuristic ~workers =
+  {
+    Verify.threshold = 0.4;
+    solver =
+      {
+        Icp.default_config with
+        fuel = 200;
+        delta = 1e-2;
+        contractor_rounds = 2;
+      };
+    deadline_seconds = None;
+    workers;
+    use_taylor = true;
+    use_tape = true;
+    split_heuristic;
+    retry = Verify.no_retry;
+  }
+
+let test_verdict_class_equivalence () =
+  List.iter
+    (fun (dfa, cond) ->
+      let classify split_heuristic =
+        match
+          Verify.run_pair
+            ~config:(pair_config ~split_heuristic ~workers:test_workers)
+            (Registry.find dfa) cond
+        with
+        | Some o -> Outcome.classify o
+        | None -> Alcotest.failf "%s must be applicable" dfa
+      in
+      let w = classify `Widest and s = classify `Smear in
+      check_true
+        (Printf.sprintf "%s/%s: smear and widest agree on the class (%s vs %s)"
+           dfa (Conditions.name cond)
+           (Outcome.classification_symbol w)
+           (Outcome.classification_symbol s))
+        (w = s))
+    [
+      ("pbe", Conditions.Ec1);
+      ("pbe", Conditions.Ec7);
+      ("lyp", Conditions.Ec1);
+    ]
+
+let normalized o =
+  Serialize.to_string { o with Outcome.stats = Outcome.zero_stats }
+
+let test_smear_paint_log_determinism () =
+  let run workers =
+    match
+      Verify.run_pair
+        ~config:(pair_config ~split_heuristic:`Smear ~workers)
+        (Registry.find "pbe") Conditions.Ec1
+    with
+    | Some o -> normalized o
+    | None -> Alcotest.fail "PBE/EC1 must be applicable"
+  in
+  let reference = run 1 in
+  Alcotest.(check string) "smear paint log byte-identical (workers=4)"
+    reference (run 4)
+
+let suite =
+  [
+    prop_adjoint_contains_dual;
+    prop_adjoint_matches_symbolic_at_point;
+    case "mvf newton-like contraction" test_mvf_newton_step;
+    case "mvf proves infeasibility" test_mvf_infeasible;
+    case "straddling gradient still contracts" test_straddling_gradient_contracts;
+    prop_mvf_soundness;
+    case "smear_dim follows the gradient" test_smear_dim_follows_gradient;
+    case "smear_dim fallback to widest" test_smear_dim_fallback;
+    case "midpoint_box" test_midpoint_box;
+    case "smear vs widest verdict classes" test_verdict_class_equivalence;
+    case "smear paint log determinism" test_smear_paint_log_determinism;
+  ]

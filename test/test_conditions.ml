@@ -201,6 +201,7 @@ let test_extra_verification () =
       workers = 1;
       use_taylor = false;
       use_tape = true;
+      split_heuristic = `Widest;
       retry = Verify.no_retry;
     }
   in

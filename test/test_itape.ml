@@ -258,6 +258,7 @@ let campaign_config ~use_tape ~workers =
     workers;
     use_taylor = false;
     use_tape;
+    split_heuristic = `Widest;
     retry = Verify.no_retry;
   }
 

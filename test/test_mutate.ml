@@ -16,6 +16,7 @@ let config =
     workers = test_workers;
     use_taylor = false;
     use_tape = true;
+    split_heuristic = `Widest;
     retry = { Verify.max_retries = 2; fuel_growth = 2 };
   }
 

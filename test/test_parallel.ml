@@ -225,6 +225,7 @@ let equiv_config workers =
     workers;
     use_taylor = false;
     use_tape = true;
+    split_heuristic = `Widest;
     retry = Verify.no_retry;
   }
 

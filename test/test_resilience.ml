@@ -31,6 +31,7 @@ let config ?faults ?(retry = Verify.no_retry) ?(workers = test_workers) () =
     workers;
     use_taylor = false;
     use_tape = true;
+    split_heuristic = `Widest;
     retry;
   }
 
@@ -271,6 +272,7 @@ let campaign_config =
     workers = 1;
     use_taylor = false;
     use_tape = true;
+    split_heuristic = `Widest;
     retry = Verify.no_retry;
   }
 

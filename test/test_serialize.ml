@@ -9,6 +9,7 @@ let config =
     workers = 1;
     use_taylor = false;
     use_tape = true;
+    split_heuristic = `Widest;
     retry = Verify.no_retry;
   }
 

@@ -12,7 +12,7 @@ let test_enclosure_tightens () =
      correlation; the mean value form recovers most of it. *)
   let f = sub x (sqr x) in
   let atom = Form.le f in
-  let prep = Taylor.prepare atom in
+  let prep = Taylor.prepare ~vars:[ "x"; "y" ] atom in
   let small = Box.make [ ("x", iv 0.49 0.51) ] in
   let natural = Ieval.eval (Box.to_env small) f in
   let mvf = Taylor.enclosure prep small in
@@ -28,7 +28,7 @@ let test_enclosure_contains_samples =
       tup4 expr_gen (float_range 0.0 1.0) (float_range 0.0 0.2)
         (float_range 0.0 1.0))
     (fun (e, lo, w, frac) ->
-      let prep = Taylor.prepare (Form.le e) in
+      let prep = Taylor.prepare ~vars:[ "x"; "y" ] (Form.le e) in
       let b = box2 (lo, lo +. w) (0.2, 0.4) in
       let i = Taylor.enclosure prep b in
       let xv = lo +. (frac *. w) in
@@ -41,7 +41,7 @@ let test_contract_infeasible () =
      directly. *)
   let f = add (sub x (sqr x)) one in
   (* f >= 0 + 1 > 0 on [0,1]: constraint f <= 0 infeasible *)
-  let prep = Taylor.prepare (Form.le f) in
+  let prep = Taylor.prepare ~vars:[ "x" ] (Form.le f) in
   match Taylor.contract prep (Box.make [ ("x", iv 0.4 0.6) ]) with
   | Hc4.Infeasible -> ()
   | Hc4.Contracted _ -> Alcotest.fail "should prove infeasible"
@@ -50,7 +50,7 @@ let test_contract_newton_step () =
   (* Monotone constraint: 2x - 1 <= 0 on [0.4, 0.6] contracts to
      [0.4, ~0.5] via the linear solve. *)
   let f = sub (mul two x) one in
-  let prep = Taylor.prepare (Form.le f) in
+  let prep = Taylor.prepare ~vars:[ "x" ] (Form.le f) in
   match Taylor.contract prep (Box.make [ ("x", iv 0.4 0.6) ]) with
   | Hc4.Infeasible -> Alcotest.fail "feasible"
   | Hc4.Contracted b ->
@@ -62,7 +62,7 @@ let test_contract_newton_step () =
 let test_piecewise_degrades () =
   (* undecided guard: the contractor must be a no-op, not unsound *)
   let pw = if_lt x (const 0.5) ~then_:(neg one) ~else_:one in
-  let prep = Taylor.prepare (Form.le pw) in
+  let prep = Taylor.prepare ~vars:[ "x" ] (Form.le pw) in
   match Taylor.contract prep (Box.make [ ("x", iv 0.0 1.0) ]) with
   | Hc4.Infeasible -> Alcotest.fail "must not decide across the seam"
   | Hc4.Contracted b ->
@@ -74,7 +74,7 @@ let test_soundness_random =
     QCheck2.Gen.(tup3 expr_gen (float_range 0.0 1.0) (float_range 0.0 1.0))
     (fun (e, px, py) ->
       let atom = Form.le e in
-      let prep = Taylor.prepare atom in
+      let prep = Taylor.prepare ~vars:[ "x"; "y" ] atom in
       let unit_box = box2 (0.0, 1.0) (0.0, 1.0) in
       let point = [ ("x", px); ("y", py) ] in
       (* certified premise, as in the HC4 soundness test *)
@@ -94,7 +94,7 @@ let test_solver_integration () =
   let f = sub (sub x (sqr x)) (const 0.26) in
   let atom = Form.gt f in
   (* not psi *)
-  let prep = Taylor.prepare atom in
+  let prep = Taylor.prepare ~vars:[ "x"; "y" ] atom in
   let b = Box.make [ ("x", iv 0.0 1.0) ] in
   let cfg =
     { Icp.default_config with fuel = 10_000; delta = 1e-4; sample_check = false }
@@ -121,6 +121,7 @@ let test_verify_integration () =
       workers = 1;
       use_taylor = true;
       use_tape = true;
+      split_heuristic = `Widest;
       retry = Verify.no_retry;
     }
   in
