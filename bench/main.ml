@@ -892,11 +892,35 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   json_enabled := List.mem "--json" args;
   let names = List.filter (fun a -> not (String.equal a "--json")) args in
+  (* Each target runs against a fresh metrics instance so its BENCH json
+     carries only its own counters; the snapshot is folded flat under an
+     "obs." prefix (timers in seconds, histograms as observation counts). *)
   let run_target (name, f) =
     json_metrics := [];
+    let prev = Obs.Metrics.install (Obs.Metrics.fresh ()) in
     let t0 = Unix.gettimeofday () in
     f ();
-    if !json_enabled then write_json name (Unix.gettimeofday () -. t0)
+    let wall = Unix.gettimeofday () -. t0 in
+    if !json_enabled then begin
+      let s = Obs.Metrics.snapshot () in
+      List.iter
+        (fun (k, v) -> record_metric ("obs." ^ k) (float_of_int v))
+        (s.Obs.Metrics.counters @ s.Obs.Metrics.wall_counters);
+      List.iter
+        (fun (k, buckets) ->
+          let count = List.fold_left (fun a (_, c) -> a + c) 0 buckets in
+          record_metric ("obs." ^ k ^ ".count") (float_of_int count))
+        s.Obs.Metrics.histograms;
+      List.iter
+        (fun (k, v) -> record_metric ("obs." ^ k ^ ".max") (float_of_int v))
+        s.Obs.Metrics.gauges;
+      List.iter
+        (fun (k, ns) ->
+          record_metric ("obs." ^ k ^ ".s") (float_of_int ns /. 1e9))
+        s.Obs.Metrics.timers;
+      write_json name wall
+    end;
+    ignore (Obs.Metrics.install prev)
   in
   match names with
   | [] -> List.iter run_target targets

@@ -44,6 +44,18 @@ let probability ~what =
   in
   Arg.conv ~docv:"P" (parse, Format.pp_print_float)
 
+(* Output paths ([--metrics], [--checkpoint], ...) are validated when the
+   arguments are parsed: an unwritable directory fails with a Cmdliner
+   error up front instead of an exception mid-campaign (or, for the
+   checkpoint, after the first completed pair). "-" means stdout. *)
+let writable_path ~what =
+  let parse s =
+    match Obs.validate_output_path s with
+    | Ok () -> Ok s
+    | Error msg -> Error (`Msg (Printf.sprintf "%s: %s" what msg))
+  in
+  Arg.conv ~docv:"FILE" (parse, Format.pp_print_string)
+
 (* ---- shared arguments ---------------------------------------------- *)
 
 let dfa_arg =
@@ -153,7 +165,37 @@ let trace_arg =
     "Write the per-box trace (split/contract/solve/verdict events with \
      solver counters) as JSON to $(docv); use - for stdout."
   in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+  Arg.(
+    value
+    & opt (some (writable_path ~what:"trace file")) None
+    & info [ "trace" ] ~doc ~docv:"FILE")
+
+let metrics_arg =
+  let doc =
+    "Write the metrics snapshot as JSON to $(docv) (use - for stdout): \
+     deterministic counters and log2-bucket histograms in one section — \
+     byte-identical at any worker count for deadline-free runs — and \
+     wall-clock phase timers, gauges and rates in another."
+  in
+  Arg.(
+    value
+    & opt (some (writable_path ~what:"metrics file")) None
+    & info [ "metrics" ] ~doc ~docv:"FILE")
+
+let write_metrics path =
+  let json = Obs.Metrics.to_json (Obs.Metrics.snapshot ()) in
+  if path = "-" then print_string json
+  else begin
+    match open_out path with
+    | exception Sys_error msg ->
+        Printf.eprintf "cannot write metrics: %s\n" msg;
+        exit 2
+    | oc ->
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc json);
+        Printf.printf "metrics written to %s\n" path
+  end
 
 let config_of ?(use_taylor = true) ?(split = `Widest) ?(workers = 1)
     ?(retries = 0) ?(fuel_growth = 2) ?fault_rate
@@ -251,7 +293,7 @@ let encode_cmd =
 
 let verify_cmd =
   let run dfa cond fuel threshold delta deadline map use_taylor split certify
-      workers trace retries fuel_growth fault_rate fault_seed =
+      workers trace metrics retries fuel_growth fault_rate fault_seed =
     match lookup_pair dfa cond with
     | Error e ->
         prerr_endline e;
@@ -299,15 +341,16 @@ let verify_cmd =
               if dropped > 0 then
                 Format.printf "(%d unreproducible models dropped)@." dropped
             end;
-            if map then print_string (Render.outcome_map o))
+            if map then print_string (Render.outcome_map o);
+            Option.iter write_metrics metrics)
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Run Algorithm 1 on one (DFA, condition) pair")
     Term.(
       const run $ dfa_arg $ condition_arg $ fuel_arg $ threshold_arg
       $ delta_arg $ deadline_arg $ map_arg $ taylor_arg $ split_arg
-      $ certify_arg $ workers_arg $ trace_arg $ retries_arg $ fuel_growth_arg
-      $ fault_rate_arg $ fault_seed_arg)
+      $ certify_arg $ workers_arg $ trace_arg $ metrics_arg $ retries_arg
+      $ fuel_growth_arg $ fault_rate_arg $ fault_seed_arg)
 
 (* ---- extra (extension conditions) ------------------------------------ *)
 
@@ -346,7 +389,10 @@ let campaign_cmd =
   in
   let save_arg =
     let doc = "Archive the outcomes (one s-expression per line)." in
-    Arg.(value & opt (some string) None & info [ "save" ] ~doc ~docv:"FILE")
+    Arg.(
+      value
+      & opt (some (writable_path ~what:"save file")) None
+      & info [ "save" ] ~doc ~docv:"FILE")
   in
   let checkpoint_arg =
     let doc =
@@ -354,7 +400,16 @@ let campaign_cmd =
        killed run loses at most the pair in flight."
     in
     Arg.(
-      value & opt (some string) None & info [ "checkpoint" ] ~doc ~docv:"FILE")
+      value
+      & opt (some (writable_path ~what:"checkpoint file")) None
+      & info [ "checkpoint" ] ~doc ~docv:"FILE")
+  in
+  let progress_arg =
+    let doc =
+      "Print a progress line to stderr about once per second: completed \
+       pairs, boxes/s, frontier size and an ETA lower bound."
+    in
+    Arg.(value & flag & info [ "progress" ] ~doc)
   in
   let resume_arg =
     let doc =
@@ -363,32 +418,46 @@ let campaign_cmd =
     in
     Arg.(value & opt (some string) None & info [ "resume" ] ~doc ~docv:"FILE")
   in
-  let run quick fuel threshold delta deadline split save checkpoint resume
-      retries fuel_growth fault_rate fault_seed =
+  let run quick fuel threshold delta deadline split workers save checkpoint
+      resume metrics progress retries fuel_growth fault_rate fault_seed =
     let config =
-      if quick then { Verify.quick_config with split_heuristic = split }
+      if quick then
+        {
+          Verify.quick_config with
+          split_heuristic = split;
+          workers =
+            (if workers <= 0 then Pool.default_workers () else workers);
+        }
       else
-        config_of ~split ~retries ~fuel_growth ?fault_rate ~fault_seed fuel
-          threshold delta deadline
+        config_of ~split ~workers ~retries ~fuel_growth ?fault_rate
+          ~fault_seed fuel threshold delta deadline
     in
+    if progress then
+      Obs.Progress.enable
+        ~total_pairs:
+          (List.length Registry.paper_five * List.length Conditions.all)
+        ();
     let outcomes = Xcverifier.verify_all ~config ?checkpoint ?resume () in
+    Obs.Progress.disable ();
     List.iter (fun o -> Format.printf "%a@." Outcome.pp_summary o) outcomes;
     print_newline ();
     print_string (Report.table1 outcomes);
-    match save with
+    (match save with
     | Some path ->
         Serialize.save path outcomes;
         Printf.printf "\nsaved %d outcomes to %s\n" (List.length outcomes)
           path
-    | None -> ()
+    | None -> ());
+    Option.iter write_metrics metrics
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Verify every applicable condition for the paper's five DFAs")
     Term.(
       const run $ quick_arg $ fuel_arg $ threshold_arg $ delta_arg
-      $ deadline_arg $ split_arg $ save_arg $ checkpoint_arg $ resume_arg
-      $ retries_arg $ fuel_growth_arg $ fault_rate_arg $ fault_seed_arg)
+      $ deadline_arg $ split_arg $ workers_arg $ save_arg $ checkpoint_arg
+      $ resume_arg $ metrics_arg $ progress_arg $ retries_arg
+      $ fuel_growth_arg $ fault_rate_arg $ fault_seed_arg)
 
 (* ---- replay ----------------------------------------------------------- *)
 

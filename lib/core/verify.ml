@@ -1,3 +1,21 @@
+(* Telemetry: box verdict counts, retries and checkpoint writes are
+   deterministic (they depend only on the work, identical at every worker
+   count for deadline-free campaigns); drained-box counts exist only under
+   a deadline and are wall-class. *)
+let m_boxes = Obs.Metrics.counter "verify.boxes"
+let m_verified = Obs.Metrics.counter "verify.boxes.verified"
+let m_counterexample = Obs.Metrics.counter "verify.boxes.counterexample"
+let m_inconclusive = Obs.Metrics.counter "verify.boxes.inconclusive"
+let m_timeout = Obs.Metrics.counter "verify.boxes.timeout"
+let m_error = Obs.Metrics.counter "verify.boxes.error"
+let m_subthreshold = Obs.Metrics.counter "verify.subthreshold"
+let m_solver_calls = Obs.Metrics.counter "verify.solver_calls"
+let m_retries = Obs.Metrics.counter "verify.retry_attempts"
+let m_drained = Obs.Metrics.counter ~clas:Obs.Metrics.Wall "verify.drained"
+let m_pairs = Obs.Metrics.counter "campaign.pairs"
+let m_ckpt = Obs.Metrics.counter "campaign.checkpoint_writes"
+let h_depth = Obs.Metrics.histogram "verify.box_depth"
+
 type retry_policy = { max_retries : int; fuel_growth : int }
 
 let no_retry = { max_retries = 0; fuel_growth = 2 }
@@ -95,23 +113,30 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
   (* Compile the negated formula once per (DFA, condition) pair — not per
      box — and hand the tape to every solver call through its config. The
      compiled form is immutable and shared by all worker domains. *)
-  let tape =
-    if config.use_tape then Some (Hc4.compile ~vars:(Box.vars domain) negated)
-    else None
-  in
-  let contractors =
-    if not config.use_taylor then []
-    else
-      match tape with
-      | Some compiled ->
-          (* tape-native mean-value contractor: one adjoint sweep per atom
-             instead of a symbolic-gradient tree walk per variable *)
-          [ Hc4.mean_value_tape compiled ]
-      | None ->
-          List.map
-            (fun a ->
-              Taylor.contractor (Taylor.prepare ~vars:(Box.vars domain) a))
-            negated
+  let tape, contractors =
+    Obs.Metrics.time_phase Obs.Metrics.Encode (fun () ->
+        let tape =
+          if config.use_tape then
+            Some (Hc4.compile ~vars:(Box.vars domain) negated)
+          else None
+        in
+        let contractors =
+          if not config.use_taylor then []
+          else
+            match tape with
+            | Some compiled ->
+                (* tape-native mean-value contractor: one adjoint sweep per
+                   atom instead of a symbolic-gradient tree walk per
+                   variable *)
+                [ Hc4.mean_value_tape compiled ]
+            | None ->
+                List.map
+                  (fun a ->
+                    Taylor.contractor
+                      (Taylor.prepare ~vars:(Box.vars domain) a))
+                  negated
+        in
+        (tape, contractors))
   in
   let solver_config =
     {
@@ -163,6 +188,7 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
     | _ -> 0.0
   in
   let children t =
+    Obs.Metrics.time_phase Obs.Metrics.Split @@ fun () ->
     let boxes =
       match (config.split_heuristic, tape) with
       | `Smear, Some compiled ->
@@ -208,10 +234,23 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
      attempt ordinal, never on scheduling, so the paint log stays
      identical at every worker count. *)
   let handle t =
-    if t.width < config.threshold then (None, [])
+    if t.width < config.threshold then begin
+      Obs.Metrics.incr m_subthreshold 1;
+      (None, [])
+    end
     else begin
       let region status subtasks =
         record t.path t.depth t.box 2 (Trace.Verdict (Outcome.status_name status));
+        Obs.Metrics.incr m_boxes 1;
+        Obs.Metrics.observe h_depth t.depth;
+        Obs.Metrics.incr
+          (match status with
+          | Outcome.Verified -> m_verified
+          | Outcome.Counterexample _ -> m_counterexample
+          | Outcome.Inconclusive _ -> m_inconclusive
+          | Outcome.Timeout -> m_timeout
+          | Outcome.Error _ -> m_error)
+          1;
         ( Some (t.path, { Outcome.box = t.box; status; depth = t.depth }),
           subtasks )
       in
@@ -219,11 +258,13 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
          before its final contract/solve burst in the path-ordered log. *)
       let record_retry k reason fuel =
         Atomic.incr total_retries;
+        Obs.Metrics.incr m_retries 1;
         record t.path t.depth t.box (k + 1 - 1000)
           (Trace.Retry { attempt = k + 1; reason; fuel })
       in
       let rec attempt_solve k =
         Atomic.incr solver_calls;
+        Obs.Metrics.incr m_solver_calls 1;
         let scfg =
           {
             solver_config with
@@ -231,7 +272,14 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
               escalated_fuel solver_config.Icp.fuel config.retry.fuel_growth k;
           }
         in
-        match Icp.solve ~contractors ~attempt:k scfg t.box negated with
+        let solve () = Icp.solve ~contractors ~attempt:k scfg t.box negated in
+        (* re-attempts are additionally attributed to the retry phase (they
+           also count towards contract/solve inside the solver) *)
+        let solve =
+          if k = 0 then solve
+          else fun () -> Obs.Metrics.time_phase Obs.Metrics.Retry solve
+        in
+        match solve () with
         | exception e ->
             if k < config.retry.max_retries then begin
               (* the aborted attempt's counters are lost with the
@@ -277,6 +325,9 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
   let recover t e =
     let status = Outcome.Error (Printexc.to_string e) in
     record t.path t.depth t.box 2 (Trace.Verdict (Outcome.status_name status));
+    Obs.Metrics.incr m_boxes 1;
+    Obs.Metrics.incr m_error 1;
+    Obs.Metrics.observe h_depth t.depth;
     (Some (t.path, { Outcome.box = t.box; status; depth = t.depth }), [])
   in
   let root =
@@ -311,13 +362,15 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
                           depth = t.depth }))
       dropped
   in
+  Obs.Metrics.incr m_drained (List.length drained);
   (* Restore the pre-order paint log: parents (shorter paths) before
      children, siblings in violation-first order — identical to the old
      depth-first recursion's log, and identical at every worker count. *)
   let regions =
-    List.filter_map Fun.id results @ drained
-    |> List.sort (fun (p1, _) (p2, _) -> Trace.compare_path p1 p2)
-    |> List.map snd
+    Obs.Metrics.time_phase Obs.Metrics.Paint (fun () ->
+        List.filter_map Fun.id results @ drained
+        |> List.sort (fun (p1, _) (p2, _) -> Trace.compare_path p1 p2)
+        |> List.map snd)
   in
   {
     Outcome.dfa = dfa_label;
@@ -416,13 +469,21 @@ let campaign ?(config = default_config) ?checkpoint ?resume dfas =
           with
           | Some o -> Some o
           | None -> (
-              match Encoder.encode dfa cond with
+              match
+                Obs.Metrics.time_phase Obs.Metrics.Encode (fun () ->
+                    Encoder.encode dfa cond)
+              with
               | None -> None
               | Some p ->
                   let o = run_pair_supervised ~config p in
+                  Obs.Metrics.incr m_pairs 1;
                   (* one flushed line per completed pair: a SIGKILL loses at
                      most the pair in flight, and resume replays the rest *)
-                  Option.iter (fun path -> Serialize.append path [ o ]) checkpoint;
+                  Option.iter
+                    (fun path ->
+                      Serialize.append path [ o ];
+                      Obs.Metrics.incr m_ckpt 1)
+                    checkpoint;
                   Some o))
         Conditions.all)
     dfas
@@ -432,7 +493,10 @@ let campaign_parallel ?(config = default_config) ?checkpoint ?resume ~workers
   (* Expressions must be hash-consed on the main domain (the cons table is
      unsynchronized); encode everything first, then fan the construction-free
      solver runs out over the pool. *)
-  let problems = Encoder.encode_all dfas in
+  let problems =
+    Obs.Metrics.time_phase Obs.Metrics.Encode (fun () ->
+        Encoder.encode_all dfas)
+  in
   let resumed = load_resumed resume in
   let fresh, reused =
     List.partition
@@ -456,7 +520,12 @@ let campaign_parallel ?(config = default_config) ?checkpoint ?resume ~workers
       fresh
       (Pool.map_result ~workers (run_pair_supervised ~config) fresh)
   in
-  Option.iter (fun path -> Serialize.append path outcomes) checkpoint;
+  Obs.Metrics.incr m_pairs (List.length outcomes);
+  Option.iter
+    (fun path ->
+      Serialize.append path outcomes;
+      Obs.Metrics.incr m_ckpt 1)
+    checkpoint;
   (* splice resumed outcomes back in canonical pair order *)
   List.filter_map
     (fun (p : Encoder.problem) ->

@@ -21,6 +21,21 @@ let tweak_constant ~from_const ~to_const e =
 
 let flip_constant_sign c e = tweak_constant ~from_const:c ~to_const:(-.c) e
 
+let flip_constant_magnitude c e =
+  let count = ref 0 in
+  let replaced =
+    Subst.(
+      replace_map_constants
+        (fun k ->
+          if const_matches c k || const_matches (-.c) k then begin
+            incr count;
+            Some (-.k)
+          end
+          else None)
+        e)
+  in
+  (replaced, !count)
+
 let scale_term ~factor ~containing e =
   match e.node with
   | Add terms ->

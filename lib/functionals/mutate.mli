@@ -22,6 +22,13 @@ val tweak_constant :
 (** Flip the sign of every occurrence of constant [c]. *)
 val flip_constant_sign : float -> Expr.t -> Expr.t * int
 
+(** Flip the sign of every constant of magnitude [|c|], in one pass. This
+    is the consistent [c := -c] typo even where the smart constructors have
+    already folded a surrounding negation into the literal (so the
+    expression holds both [c] and [-c] sites); two [flip_constant_sign]
+    passes would undo each other on such expressions. *)
+val flip_constant_magnitude : float -> Expr.t -> Expr.t * int
+
 (** [scale_term ~factor ~containing e] multiplies by [factor] every
     top-level additive term of [e] that mentions the variable [containing]
     — a "wrong prefactor on the gradient correction" style bug. *)

@@ -1,0 +1,17 @@
+/* Monotonic clock for the metrics layer.
+ *
+ * CLOCK_MONOTONIC never jumps backwards on NTP adjustments, which is what
+ * phase timers and the progress line need. The value is returned as a
+ * tagged OCaml int: 62 bits of nanoseconds is ~146 years of uptime, so no
+ * boxing is required and the primitive can be [@@noalloc]. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value xcv_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -75,8 +75,23 @@ type ('task, 'result) outcome = {
   dropped : 'task list;
 }
 
+(* Heap slots carry the pushing domain's id so a pop by a different domain
+   can be counted as a steal (wall-class telemetry only — scheduling order
+   itself is unaffected). *)
+type 'task slot = { producer : int; task : 'task }
+
+(* Telemetry. [worklist.tasks] counts every handled task (shared-heap and
+   local-overflow paths alike) and is deterministic for deadline-free runs;
+   the rest depends on scheduling or heap fullness and is wall-class. *)
+let m_tasks = Obs.Metrics.counter "worklist.tasks"
+let m_pushed = Obs.Metrics.counter ~clas:Obs.Metrics.Wall "worklist.pushed"
+let m_steals = Obs.Metrics.counter ~clas:Obs.Metrics.Wall "worklist.steals"
+let m_drained = Obs.Metrics.counter ~clas:Obs.Metrics.Wall "worklist.drained"
+let m_overflow = Obs.Metrics.counter ~clas:Obs.Metrics.Wall "worklist.overflow"
+let g_depth = Obs.Metrics.gauge "worklist.depth"
+
 type ('task, 'result) state = {
-  heap : 'task Heap.t;
+  heap : 'task slot Heap.t;
   lock : Mutex.t;
   wake : Condition.t;
   mutable in_flight : int;
@@ -103,7 +118,7 @@ let process ~workers ~compare ?(stop = fun () -> false)
   in
   let st =
     {
-      heap = Heap.create ~capacity compare;
+      heap = Heap.create ~capacity (fun a b -> compare a.task b.task);
       lock = Mutex.create ();
       wake = Condition.create ();
       in_flight = 0;
@@ -113,9 +128,15 @@ let process ~workers ~compare ?(stop = fun () -> false)
       failed = None;
     }
   in
+  let self_id () = (Domain.self () :> int) in
+  let caller = self_id () in
   let leftover =
-    List.filter (fun t -> not (Heap.push st.heap t)) init
+    List.filter
+      (fun t -> not (Heap.push st.heap { producer = caller; task = t }))
+      init
   in
+  Obs.Metrics.incr m_pushed (List.length init - List.length leftover);
+  Obs.Metrics.gauge_set g_depth st.heap.Heap.size;
   (* Capacity-overflow fallback: process a task and its descendants locally,
      LIFO, without touching the shared heap. Priority order is lost for the
      overflow subtree but no work is; with the default capacity this path is
@@ -127,10 +148,14 @@ let process ~workers ~compare ?(stop = fun () -> false)
       | [] -> ()
       | t :: rest ->
           if stop () then begin
+            Obs.Metrics.incr m_drained 1;
             dropped := t :: !dropped;
             go rest
           end
           else begin
+            Obs.Metrics.incr m_tasks 1;
+            Obs.Metrics.incr m_overflow 1;
+            Obs.Progress.tick ();
             match protected t with
             | Error e -> raise e
             | Ok (r, children) ->
@@ -142,6 +167,7 @@ let process ~workers ~compare ?(stop = fun () -> false)
     (List.rev !results, List.rev !dropped)
   in
   let worker () =
+    let me = self_id () in
     let running = ref true in
     while !running do
       Mutex.lock st.lock;
@@ -154,9 +180,10 @@ let process ~workers ~compare ?(stop = fun () -> false)
         end
         else
           match Heap.pop st.heap with
-          | Some t ->
+          | Some s ->
               st.in_flight <- st.in_flight + 1;
-              `Run t
+              Obs.Metrics.gauge_set g_depth st.heap.Heap.size;
+              `Run s
           | None ->
               if st.in_flight = 0 then begin
                 Condition.broadcast st.wake;
@@ -171,8 +198,11 @@ let process ~workers ~compare ?(stop = fun () -> false)
       | `Wait ->
           Condition.wait st.wake st.lock;
           Mutex.unlock st.lock
-      | `Run t -> (
+      | `Run { producer; task = t } -> (
           Mutex.unlock st.lock;
+          if producer <> me then Obs.Metrics.incr m_steals 1;
+          Obs.Metrics.incr m_tasks 1;
+          Obs.Progress.tick ();
           match protected t with
           | Error e ->
               Mutex.lock st.lock;
@@ -185,8 +215,14 @@ let process ~workers ~compare ?(stop = fun () -> false)
               Mutex.lock st.lock;
               st.results <- r :: st.results;
               let overflow =
-                List.filter (fun c -> not (Heap.push st.heap c)) children
+                List.filter
+                  (fun c ->
+                    not (Heap.push st.heap { producer = me; task = c }))
+                  children
               in
+              Obs.Metrics.incr m_pushed
+                (List.length children - List.length overflow);
+              Obs.Metrics.gauge_set g_depth st.heap.Heap.size;
               Mutex.unlock st.lock;
               (* handle overflow children outside the lock *)
               match
@@ -229,4 +265,7 @@ let process ~workers ~compare ?(stop = fun () -> false)
   worker ();
   List.iter Domain.join domains;
   (match st.failed with Some e -> raise e | None -> ());
-  { results = List.rev st.results; dropped = Heap.drain st.heap @ st.dropped }
+  let leftover = List.map (fun s -> s.task) (Heap.drain st.heap) in
+  Obs.Metrics.incr m_drained (List.length leftover);
+  Obs.Metrics.gauge_set g_depth 0;
+  { results = List.rev st.results; dropped = leftover @ st.dropped }

@@ -45,8 +45,37 @@ let fault_key box =
   in
   Fault.key_of (bounds (Box.dim box - 1) [])
 
+(* Telemetry: all counters here are deterministic (they count work, which
+   for a deadline-free campaign is identical at every worker count); the
+   contract/solve phase split is wall-class and flushed once per solver
+   call, never per expansion. *)
+let m_solves = Obs.Metrics.counter "icp.solves"
+let m_solve_tape = Obs.Metrics.counter "icp.solve_tape"
+let m_solve_tree = Obs.Metrics.counter "icp.solve_tree"
+let m_expansions = Obs.Metrics.counter "icp.expansions"
+let m_prunes = Obs.Metrics.counter "icp.prunes"
+let m_revise = Obs.Metrics.counter "icp.revise_calls"
+let m_sweeps = Obs.Metrics.counter "icp.sweeps"
+let m_unsat = Obs.Metrics.counter "icp.unsat"
+let m_sat = Obs.Metrics.counter "icp.sat"
+let m_timeout = Obs.Metrics.counter "icp.timeout"
+let m_faults = Obs.Metrics.counter "icp.faults_injected"
+let m_hc4_tape = Obs.Metrics.counter "hc4.contract_tape"
+let m_hc4_tree = Obs.Metrics.counter "hc4.contract_tree"
+
+(* Width-reduction ratio of one contraction burst, scaled to 0..1024 before
+   log2 bucketing; a prune (Infeasible) counts as full contraction. *)
+let h_ratio = Obs.Metrics.histogram "icp.contraction_ratio"
+let ratio_scale = 1024
+
+(* Fuel actually burned per solver call — the reproduction's analogue of
+   the paper's per-call dReal budget distribution. *)
+let h_expansions = Obs.Metrics.histogram "icp.expansions_per_solve"
+
 let solve_real ~contractors cfg box formula =
   let expansions = ref 0 and prunes = ref 0 and max_depth = ref 0 in
+  let t_start = Obs.Clock.now_ns () in
+  let contract_ns = ref 0 in
   let hc4 = Hc4.counters () in
   let stats () =
     {
@@ -57,21 +86,50 @@ let solve_real ~contractors cfg box formula =
       sweeps = hc4.Hc4.sweeps;
     }
   in
+  (* One flush per solver call: counters, per-call histograms, and the
+     contract/solve wall split (solve = everything outside contraction). *)
+  let finish verdict =
+    let s = stats () in
+    Obs.Metrics.incr m_solves 1;
+    Obs.Metrics.incr
+      (match cfg.tape with Some _ -> m_solve_tape | None -> m_solve_tree)
+      1;
+    Obs.Metrics.incr m_expansions s.expansions;
+    Obs.Metrics.incr m_prunes s.prunes;
+    Obs.Metrics.incr m_revise s.revise_calls;
+    Obs.Metrics.incr m_sweeps s.sweeps;
+    Obs.Metrics.incr
+      (match verdict with
+      | Unsat -> m_unsat
+      | Sat _ -> m_sat
+      | Timeout -> m_timeout)
+      1;
+    Obs.Metrics.observe h_expansions s.expansions;
+    let total = Obs.Clock.now_ns () - t_start in
+    Obs.Metrics.add_phase Obs.Metrics.Contract !contract_ns;
+    Obs.Metrics.add_phase Obs.Metrics.Solve
+      (Stdlib.max 0 (total - !contract_ns));
+    (verdict, s)
+  in
   (* Worklist of (box, depth), depth-first. *)
   let rec loop = function
-    | [] -> (Unsat, stats ())
+    | [] -> finish Unsat
     | (box, depth) :: rest ->
-        if !expansions >= cfg.fuel then (Timeout, stats ())
+        if !expansions >= cfg.fuel then finish Timeout
         else begin
           incr expansions;
           if depth > !max_depth then max_depth := depth;
+          let before_w = Box.max_width box in
+          let c0 = Obs.Clock.now_ns () in
           let contracted =
             match
               match cfg.tape with
               | Some compiled ->
+                  Obs.Metrics.incr m_hc4_tape 1;
                   Hc4.contract_tape ~counters:hc4 compiled box
                     ~rounds:cfg.contractor_rounds
               | None ->
+                  Obs.Metrics.incr m_hc4_tree 1;
                   Hc4.contract ~counters:hc4 box formula
                     ~rounds:cfg.contractor_rounds
             with
@@ -86,6 +144,19 @@ let solve_real ~contractors cfg box formula =
                     | Hc4.Contracted b -> stage b)
                   (Hc4.Contracted box) contractors
           in
+          contract_ns := !contract_ns + (Obs.Clock.now_ns () - c0);
+          (match contracted with
+          | Hc4.Infeasible -> Obs.Metrics.observe h_ratio ratio_scale
+          | Hc4.Contracted b ->
+              let after_w = Box.max_width b in
+              let r =
+                if before_w > 0.0 && Float.is_finite before_w then
+                  (before_w -. after_w) /. before_w
+                else 0.0
+              in
+              let r = Float.max 0.0 (Float.min 1.0 r) in
+              Obs.Metrics.observe h_ratio
+                (int_of_float (r *. float_of_int ratio_scale)));
           match contracted with
           | Hc4.Infeasible ->
               incr prunes;
@@ -103,7 +174,7 @@ let solve_real ~contractors cfg box formula =
                 in
                 if List.for_all (fun s -> s = `Holds) statuses then
                   (* Every point of the box is a model. *)
-                  (Sat { model = Box.midpoint box; certified = true }, stats ())
+                  finish (Sat { model = Box.midpoint box; certified = true })
                 else if List.exists (fun s -> s = `Fails) statuses then begin
                   incr prunes;
                   loop rest
@@ -113,10 +184,10 @@ let solve_real ~contractors cfg box formula =
                   if cfg.sample_check && Form.all_hold_at mid formula then
                     (* A float-arithmetic witness: not box-certified, but it
                        will pass the caller's valid(x) re-check. *)
-                    (Sat { model = mid; certified = false }, stats ())
+                    finish (Sat { model = mid; certified = false })
                   else if Box.max_width box <= cfg.delta then
                     (* δ-SAT: cannot decide at this resolution. *)
-                    (Sat { model = mid; certified = false }, stats ())
+                    finish (Sat { model = mid; certified = false })
                   else begin
                     let b1, b2 =
                       match (cfg.split_heuristic, cfg.tape) with
@@ -142,6 +213,9 @@ let solve ?(contractors = []) ?(attempt = 0) cfg box formula =
     | None -> None
     | Some plan -> Fault.decide plan ~attempt ~key:(fault_key box)
   in
+  (match injected with
+  | Some _ -> Obs.Metrics.incr m_faults 1
+  | None -> ());
   match injected with
   | Some Fault.Raise ->
       raise

@@ -31,5 +31,6 @@ let () =
       ("resilience", Test_resilience.suite);
       ("trace", Test_trace.suite);
       ("mutate", Test_mutate.suite);
+      ("obs", Test_obs.suite);
       ("codegen", Test_codegen.suite);
     ]

@@ -247,6 +247,75 @@ let prop_split_progress =
             Float.succ lo >= hi)
 
 (* ------------------------------------------------------------------ *)
+(* Differential oracle: tape vs tree vs point evaluation.
+
+   Three independent evaluators of the same atom must agree: the compiled
+   tape's forward pass (Itape.eval / status_on), the tree walk
+   (Ieval.eval / Form.status_on), and point evaluation at the box midpoint
+   (Eval.eval, with Dual.eval's value track as a fourth witness). Interval
+   comparisons are exact — the tape is operation-identical to the tree —
+   while the float-in-enclosure check allows point-evaluation roundoff. *)
+
+let prop_status_eval_equiv =
+  qcheck ~count:300 "tape eval/status_on = tree walk on random atoms"
+    QCheck2.Gen.(pair atom_gen box_gen)
+    (fun (atom, box) ->
+      let tape = Itape.compile ~vars:(Box.vars box) atom in
+      Interval.equal
+        (Ieval.eval (Box.to_env box) atom.Form.expr)
+        (Itape.eval tape box)
+      && Itape.status_on tape box = Form.status_on box atom)
+
+(* Random sub-box of a problem domain: shrink every dimension by two
+   uniform cut points (kept ordered, so rounding cannot cross the ends). *)
+let subbox_gen domain =
+  QCheck2.Gen.(
+    let shrink iv =
+      map2
+        (fun a b ->
+          let a, b = if a <= b then (a, b) else (b, a) in
+          let lo = Interval.inf iv and w = Interval.width iv in
+          Interval.make (lo +. (a *. w)) (lo +. (b *. w)))
+        (float_range 0.0 1.0) (float_range 0.0 1.0)
+    in
+    map
+      (fun ivs -> Box.make (List.combine (Box.vars domain) ivs))
+      (flatten_l
+         (List.map (fun v -> shrink (Box.get domain v)) (Box.vars domain))))
+
+let prop_registry_differential_oracle =
+  let problems = Encoder.encode_all Registry.paper_five in
+  qcheck ~count:60 "registry differential oracle: tape = tree = point"
+    QCheck2.Gen.(
+      oneofl problems >>= fun p ->
+      map (fun b -> (p, b)) (subbox_gen p.Encoder.domain))
+    (fun (p, box) ->
+      let atom = p.Encoder.psi in
+      let tape = Itape.compile ~vars:(Box.vars box) atom in
+      let enc = Itape.eval tape box in
+      let env = Box.midpoint box in
+      let v = Eval.eval env atom.Form.expr in
+      let dual = Dual.eval env ~wrt:(List.hd (Box.vars box)) atom.Form.expr in
+      let slack = 1e-9 *. (1.0 +. Float.abs v) in
+      (* the tape's enclosure and certainty test match the tree walk *)
+      Interval.equal (Ieval.eval (Box.to_env box) atom.Form.expr) enc
+      && Itape.status_on tape box = Form.status_on box atom
+      (* dual's value track is the float evaluator, operation for operation *)
+      && (dual.Dual.v = v || (Float.is_nan dual.Dual.v && Float.is_nan v))
+      (* the midpoint value lies in the interval enclosure, up to point
+         roundoff relative to its own magnitude *)
+      && (Float.is_nan v
+         || (v >= Interval.inf enc -. slack && v <= Interval.sup enc +. slack))
+      (* a decided interval status agrees with the paper's float spot check,
+         away from the decision boundary *)
+      && (match Itape.status_on tape box with
+         | `Unknown -> true
+         | (`Holds | `Fails) when Float.is_nan v || Float.abs v <= slack ->
+             true
+         | `Holds -> Form.holds_at env atom
+         | `Fails -> not (Form.holds_at env atom)))
+
+(* ------------------------------------------------------------------ *)
 (* Paint-log identity on a real campaign pair *)
 
 let campaign_config ~use_tape ~workers =
@@ -295,5 +364,7 @@ let suite =
     case "trig below cutoff stays tight" test_trig_small_argument_still_tight;
     case "split progress" test_split_progress;
     prop_split_progress;
+    prop_status_eval_equiv;
+    prop_registry_differential_oracle;
     case "paint log identity tree vs tape" test_paint_log_identity;
   ]

@@ -103,11 +103,95 @@ let test_lyp_prefactor_sign_flip () =
   check_true "LYP sign mutant refuted on subdomain"
     (refuted (run_lyp_on_subdomain mutant))
 
+(* VWN-RPA with the overall prefactor a = 0.0310907 sign-flipped: eps_c is
+   a times a bracket that is negative on the whole rs domain, so the mutant
+   is positive everywhere and EC1 refutes it at once. One-dimensional, so
+   quick-tier like the PZ81 case. *)
+let test_vwn_rpa_prefactor_sign_flip () =
+  let vwn = Registry.find "vwn_rpa" in
+  let mutant =
+    Mutate.mutant_of vwn ~name:"vwn-rpa-a-sign" ~mutate:(fun e ->
+        let e', n = Mutate.flip_constant_sign 0.0310907 e in
+        let e', n =
+          if n > 0 then (e', n) else Mutate.flip_constant_sign (-0.0310907) e
+        in
+        check_true "a site found" (n > 0);
+        e')
+  in
+  check_kill ~pristine:vwn ~mutant Conditions.Ec1
+
+(* AM05 with the correlation mixing constant gamma_c = 0.8098 sign-flipped:
+   the interpolation factor X + gamma_c (1 - X) drops from [gamma_c, 1]
+   to negative values once X = 1/(1 + 2.804 s^2) < 0.45, i.e. for
+   s >~ 0.66 — multiplying the negative PW92 eps_c into positive territory
+   over most of the (rs, s) domain, which EC1 refutes quickly. *)
+let test_am05_gamma_sign_flip () =
+  let am05 = Registry.find "am05" in
+  let mutant =
+    Mutate.mutant_of am05 ~name:"am05-gamma-sign" ~mutate:(fun e ->
+        let e', n = Mutate.flip_constant_sign 0.8098 e in
+        check_true "gamma_c site found" (n > 0);
+        e')
+  in
+  check_kill ~pristine:am05 ~mutant Conditions.Ec1
+
+(* SCAN with b1c = 0.0285764 sign-flipped (all three literal sites, i.e.
+   the consistent b1c := -b1c typo): the single-orbital limit eps_lda0
+   becomes +b1c/(1 + b2c sqrt(rs) + b3c rs) > 0, and at small alpha the
+   interpolation eps_c1 + f_c(alpha) (eps_c0 - eps_c1) is dominated by the
+   now-positive eps_c0, so eps_c > 0 in the alpha -> 0 pocket. Three
+   dimensions are expensive, so the check runs on a subdomain around that
+   pocket with a coarse threshold; pristine SCAN stays unrefuted there
+   (boxes the solver cannot prove in budget time out, which classifies as
+   unknown, never as a kill). *)
+let scan_config = { config with Verify.threshold = 1.0 }
+
+let scan_subdomain =
+  Box.make
+    [
+      (Dft_vars.rs_name, Interval.make 0.5 3.0);
+      (Dft_vars.s_name, Interval.make 0.0 2.0);
+      (Dft_vars.alpha_name, Interval.make 0.0 2.0);
+    ]
+
+let run_scan_on_subdomain (dfa : Registry.t) =
+  match Encoder.encode dfa Conditions.Ec1 with
+  | None -> Alcotest.fail "EC1 applies to SCAN"
+  | Some p ->
+      Verify.run_custom ~config:scan_config ~dfa_label:dfa.Registry.label
+        ~condition_label:(Conditions.name Conditions.Ec1)
+        ~domain:scan_subdomain ~psi:p.Encoder.psi ()
+
+let test_scan_b1c_sign_flip () =
+  let scan = Registry.find "scan" in
+  (* [mutant_of] runs the mutation over eps_c and eps_x alike; b1c lives
+     only in the correlation part, so count sites across both passes. *)
+  let sites = ref 0 in
+  let mutant =
+    Mutate.mutant_of scan ~name:"scan-b1c-sign" ~mutate:(fun e ->
+        (* the smart constructors folded one site's negation into the
+           literal, so the expression holds both +b1c and -b1c; flip by
+           magnitude to apply the consistent b1c := -b1c typo *)
+        let e', n = Mutate.flip_constant_magnitude 0.0285764 e in
+        sites := !sites + n;
+        e')
+  in
+  check_true "b1c sites found" (!sites > 0);
+  check_false "pristine SCAN not refuted on subdomain (false kill)"
+    (refuted (run_scan_on_subdomain scan));
+  check_true "SCAN b1c sign mutant refuted on subdomain"
+    (refuted (run_scan_on_subdomain mutant))
+
 let suite =
   [
     case "PZ81 gamma sign flip killed on EC1" test_pz81_sign_flip;
+    case "VWN-RPA prefactor sign flip killed on EC1"
+      test_vwn_rpa_prefactor_sign_flip;
     slow_case "PBE doubled gradient term killed on EC1"
       test_pbe_double_gradient_term;
     slow_case "LYP prefactor sign flip killed on EC1"
       test_lyp_prefactor_sign_flip;
+    slow_case "AM05 gamma_c sign flip killed on EC1"
+      test_am05_gamma_sign_flip;
+    slow_case "SCAN b1c sign flip killed on EC1" test_scan_b1c_sign_flip;
   ]
