@@ -182,8 +182,7 @@ let metrics_arg =
     & opt (some (writable_path ~what:"metrics file")) None
     & info [ "metrics" ] ~doc ~docv:"FILE")
 
-let write_metrics path =
-  let json = Obs.Metrics.to_json (Obs.Metrics.snapshot ()) in
+let write_metrics_json json path =
   if path = "-" then print_string json
   else begin
     match open_out path with
@@ -196,6 +195,9 @@ let write_metrics path =
           (fun () -> output_string oc json);
         Printf.printf "metrics written to %s\n" path
   end
+
+let write_metrics path =
+  write_metrics_json (Obs.Metrics.to_json (Obs.Metrics.snapshot ())) path
 
 let config_of ?(use_taylor = true) ?(split = `Widest) ?(workers = 1)
     ?(retries = 0) ?(fuel_growth = 2) ?fault_rate
@@ -418,8 +420,76 @@ let campaign_cmd =
     in
     Arg.(value & opt (some string) None & info [ "resume" ] ~doc ~docv:"FILE")
   in
+  let shard_arg =
+    let parse s =
+      match String.split_on_char '/' s with
+      | [ i; n ] -> (
+          match (int_of_string_opt i, int_of_string_opt n) with
+          | Some i, Some n when n >= 1 && i >= 0 && i < n -> Ok (i, n)
+          | _ ->
+              Error
+                (`Msg
+                   (Printf.sprintf
+                      "shard must be I/N with 0 <= I < N, got %S" s)))
+      | _ -> Error (`Msg (Printf.sprintf "shard must look like I/N, got %S" s))
+    in
+    let print ppf (i, n) = Format.fprintf ppf "%d/%d" i n in
+    let doc =
+      "Run only shard $(docv) of the campaign (box-path-prefix slice I of \
+       N). Requires --checkpoint; the checkpoint, --resume and --metrics \
+       paths are suffixed .shard<I>. Merging the N shard checkpoints \
+       reproduces the unsharded run byte-for-byte."
+    in
+    Arg.(
+      value
+      & opt (some (Arg.conv ~docv:"I/N" (parse, print))) None
+      & info [ "shard" ] ~doc ~docv:"I/N")
+  in
+  let shards_arg =
+    let doc =
+      "Supervisor mode: fork/exec $(docv) shard processes, restart any that \
+       die from their own checkpoints, then merge and print Table I. \
+       Requires --checkpoint."
+    in
+    Arg.(
+      value
+      & opt (some (bounded_int ~what:"shards" ~min:1)) None
+      & info [ "shards" ] ~doc ~docv:"N")
+  in
+  let merge_arg =
+    let doc =
+      "Merge shard checkpoints $(docv).shard0 .. $(docv).shard<N-1> (no \
+       solving); prints the merged summaries and Table I and honours --save \
+       and --metrics."
+    in
+    Arg.(value & opt (some string) None & info [ "merge" ] ~doc ~docv:"BASE")
+  in
+  let print_outcomes outcomes =
+    List.iter (fun o -> Format.printf "%a@." Outcome.pp_summary o) outcomes;
+    print_newline ();
+    print_string (Report.table1 outcomes)
+  in
+  let save_outcomes save outcomes =
+    match save with
+    | Some path ->
+        Serialize.save path outcomes;
+        Printf.printf "\nsaved %d outcomes to %s\n" (List.length outcomes)
+          path
+    | None -> ()
+  in
+  let print_merged save metrics (m : Shard_merge.merged) =
+    print_outcomes m.Shard_merge.outcomes;
+    save_outcomes save m.Shard_merge.outcomes;
+    Option.iter
+      (write_metrics_json (Obs.Metrics.to_json m.Shard_merge.metrics))
+      metrics
+  in
+  let total_pairs =
+    List.length Registry.paper_five * List.length Conditions.all
+  in
   let run quick fuel threshold delta deadline split workers save checkpoint
-      resume metrics progress retries fuel_growth fault_rate fault_seed =
+      resume metrics progress retries fuel_growth fault_rate fault_seed shard
+      shards merge =
     let config =
       if quick then
         {
@@ -432,23 +502,165 @@ let campaign_cmd =
         config_of ~split ~workers ~retries ~fuel_growth ?fault_rate
           ~fault_seed fuel threshold delta deadline
     in
-    if progress then
-      Obs.Progress.enable
-        ~total_pairs:
-          (List.length Registry.paper_five * List.length Conditions.all)
-        ();
-    let outcomes = Xcverifier.verify_all ~config ?checkpoint ?resume () in
-    Obs.Progress.disable ();
-    List.iter (fun o -> Format.printf "%a@." Outcome.pp_summary o) outcomes;
-    print_newline ();
-    print_string (Report.table1 outcomes);
-    (match save with
-    | Some path ->
-        Serialize.save path outcomes;
-        Printf.printf "\nsaved %d outcomes to %s\n" (List.length outcomes)
-          path
-    | None -> ());
-    Option.iter write_metrics metrics
+    (match
+       List.filter
+         (fun set -> set)
+         [
+           Option.is_some shard; Option.is_some shards; Option.is_some merge;
+         ]
+     with
+    | _ :: _ :: _ ->
+        prerr_endline
+          "--shard, --shards and --merge are mutually exclusive";
+        exit 2
+    | _ -> ());
+    try
+      match (shard, shards, merge) with
+      | _, _, Some base -> (
+          (* Merge-only: no solving, just validate + join + render. *)
+          match Shard_merge.merge_files ~base with
+          | Error msg ->
+              Printf.eprintf "--merge: %s\n" msg;
+              exit 2
+          | Ok m -> print_merged save metrics m)
+      | Some (i, n), _, _ ->
+          (* One shard of a distributed campaign. *)
+          let base =
+            match checkpoint with
+            | Some p -> p
+            | None ->
+                prerr_endline "--shard requires --checkpoint";
+                exit 2
+          in
+          if Option.is_some save then
+            prerr_endline
+              "warning: --save is ignored in shard mode (it applies to the \
+               merged run)";
+          let spec = { Verify.shard_index = i; shard_count = n } in
+          let ckpt = Shard_merge.shard_path base i in
+          let resume = Option.map (fun r -> Shard_merge.shard_path r i) resume in
+          if progress then
+            Obs.Progress.enable
+              ~label:(Printf.sprintf "shard %d/%d" i n)
+              ~total_pairs ();
+          (* Crash injection for the @shard test gate (same ambient-hook
+             idiom as XCV_FAULT_RATE): on a fresh — not resumed — shard
+             run, die by SIGKILL right after the Nth pair's checkpoint
+             entry is flushed, leaving a torn tail exactly as a kill
+             mid-append would. The supervisor must then restart the shard
+             from that checkpoint without changing the merged bytes. *)
+          let kill_after =
+            match Sys.getenv_opt "XCV_SHARD_KILL_AFTER" with
+            | Some s when resume = None -> int_of_string_opt s
+            | _ -> None
+          in
+          let pairs_done = ref 0 in
+          let on_pair _ =
+            incr pairs_done;
+            match kill_after with
+            | Some k when !pairs_done = k ->
+                let oc =
+                  open_out_gen [ Open_append; Open_binary ] 0o644 ckpt
+                in
+                output_string oc "(entry (outcome 3 (dfa to";
+                close_out oc;
+                Unix.kill (Unix.getpid ()) Sys.sigkill
+            | _ -> ()
+          in
+          let pairs, snap =
+            Verify.shard_campaign ~config ~shard:spec ~checkpoint:ckpt ?resume
+              ~on_pair Registry.paper_five
+          in
+          Obs.Progress.disable ();
+          Printf.printf "shard %d/%d: %d pairs checkpointed to %s\n" i n
+            (List.length pairs) ckpt;
+          Option.iter
+            (fun m ->
+              let path = if m = "-" then m else Shard_merge.shard_path m i in
+              write_metrics_json (Obs.Metrics.to_json snap) path)
+            metrics
+      | _, Some n, _ -> (
+          (* Supervisor: fork/exec the shards, restart the dead, merge. *)
+          let base =
+            match checkpoint with
+            | Some p -> p
+            | None ->
+                prerr_endline "--shards requires --checkpoint";
+                exit 2
+          in
+          let spawn ~shard ~resume =
+            let args =
+              [ "campaign"; "--shard"; Printf.sprintf "%d/%d" shard n;
+                "--checkpoint"; base ]
+              @ (if quick then [ "--quick" ] else [])
+              @ [
+                  "--fuel"; string_of_int fuel;
+                  "--threshold"; Printf.sprintf "%.17g" threshold;
+                  "--delta"; Printf.sprintf "%.17g" delta;
+                  "--split";
+                  (match split with `Widest -> "widest" | `Smear -> "smear");
+                  "--workers"; string_of_int workers;
+                  "--retries"; string_of_int retries;
+                  "--fuel-growth"; string_of_int fuel_growth;
+                  "--fault-seed"; string_of_int fault_seed;
+                ]
+              @ (match deadline with
+                | Some d -> [ "--deadline"; Printf.sprintf "%.17g" d ]
+                | None -> [])
+              @ (match fault_rate with
+                | Some r -> [ "--fault-rate"; Printf.sprintf "%.17g" r ]
+                | None -> [])
+              @ (match metrics with
+                | Some m when m <> "-" -> [ "--metrics"; m ]
+                | _ -> [])
+              @ (if progress then [ "--progress" ] else [])
+              @ (if resume then [ "--resume"; base ] else [])
+            in
+            let prog = Sys.executable_name in
+            Unix.create_process prog
+              (Array.of_list (prog :: args))
+              Unix.stdin Unix.stdout Unix.stderr
+          in
+          let on_event = function
+            | Shard_supervisor.Started { shard; pid; restart } ->
+                Printf.eprintf "[supervisor] shard %d started (pid %d%s)\n%!"
+                  shard pid
+                  (if restart = 0 then ""
+                   else Printf.sprintf ", restart %d" restart)
+            | Shard_supervisor.Died { shard; pid; status } ->
+                Printf.eprintf "[supervisor] shard %d (pid %d) %s\n%!" shard
+                  pid
+                  (Shard_supervisor.status_to_string status)
+            | Shard_supervisor.Restarting { shard; restart } ->
+                Printf.eprintf
+                  "[supervisor] restarting shard %d from its checkpoint \
+                   (attempt %d)\n%!"
+                  shard restart
+            | Shard_supervisor.Gave_up { shard } ->
+                Printf.eprintf "[supervisor] giving up on shard %d\n%!" shard
+          in
+          match Shard_supervisor.supervise ~count:n ~on_event ~spawn () with
+          | Error msg ->
+              Printf.eprintf "--shards: %s\n" msg;
+              exit 2
+          | Ok restarts -> (
+              if restarts > 0 then
+                Printf.eprintf "[supervisor] %d shard restart(s)\n%!" restarts;
+              match Shard_merge.merge_files ~base with
+              | Error msg ->
+                  Printf.eprintf "--shards: merge failed: %s\n" msg;
+                  exit 2
+              | Ok m -> print_merged save metrics m))
+      | None, None, None ->
+          if progress then Obs.Progress.enable ~total_pairs ();
+          let outcomes = Xcverifier.verify_all ~config ?checkpoint ?resume () in
+          Obs.Progress.disable ();
+          print_outcomes outcomes;
+          save_outcomes save outcomes;
+          Option.iter write_metrics metrics
+    with Failure msg ->
+      prerr_endline msg;
+      exit 2
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -457,7 +669,8 @@ let campaign_cmd =
       const run $ quick_arg $ fuel_arg $ threshold_arg $ delta_arg
       $ deadline_arg $ split_arg $ workers_arg $ save_arg $ checkpoint_arg
       $ resume_arg $ metrics_arg $ progress_arg $ retries_arg
-      $ fuel_growth_arg $ fault_rate_arg $ fault_seed_arg)
+      $ fuel_growth_arg $ fault_rate_arg $ fault_seed_arg $ shard_arg
+      $ shards_arg $ merge_arg)
 
 (* ---- replay ----------------------------------------------------------- *)
 

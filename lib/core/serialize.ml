@@ -208,22 +208,6 @@ let save path outcomes =
           output_char oc '\n')
         outcomes)
 
-let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let rec go acc =
-        match input_line ic with
-        | line ->
-            let acc =
-              if String.trim line = "" then acc else of_string line :: acc
-            in
-            go acc
-        | exception End_of_file -> List.rev acc
-      in
-      go [])
-
 let append path outcomes =
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   Fun.protect
@@ -238,27 +222,283 @@ let append path outcomes =
           flush oc)
         outcomes)
 
-let load_checkpoint path =
-  if not (Sys.file_exists path) then []
+(* ------------------------------------------------------------------ *)
+(* Digests — the identity of a campaign's configuration and formula set,
+   carried in checkpoint headers so resume and shard merge can refuse
+   checkpoints from a different run. FNV-style byte fold through the
+   splitmix64 finalizer; 16 hex chars, safe as an s-expression atom. *)
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let digest s =
+  let h = ref 0x9e3779b97f4a7c15L in
+  String.iter
+    (fun c ->
+      h :=
+        mix64
+          (Int64.add
+             (Int64.mul !h 0x100000001b3L)
+             (Int64.of_int (Char.code c))))
+    s;
+  Printf.sprintf "%016Lx" !h
+
+(* ------------------------------------------------------------------ *)
+(* Campaign headers and sharded checkpoint entries *)
+
+type header = {
+  config_hash : string;
+  formula_hash : string;
+  shard : (int * int) option;
+}
+
+let sexp_of_header h =
+  S.List
+    ((S.Atom "campaign-header"
+     :: S.Atom (string_of_int format_version)
+     :: S.List [ S.Atom "config"; S.Atom h.config_hash ]
+     :: S.List [ S.Atom "formula"; S.Atom h.formula_hash ]
+     :: [])
+    @
+    match h.shard with
+    | None -> []
+    | Some (i, n) ->
+        [
+          S.List
+            [ S.Atom "shard"; S.Atom (string_of_int i); S.Atom (string_of_int n) ];
+        ])
+
+let header_of_sexp = function
+  | S.List (S.Atom "campaign-header" :: S.Atom version :: fields) ->
+      if not (List.mem (int_of_string version) readable_versions) then
+        fail "unsupported campaign header version %s" version;
+      let config = ref None and formula = ref None and shard = ref None in
+      List.iter
+        (function
+          | S.List [ S.Atom "config"; S.Atom h ] -> config := Some h
+          | S.List [ S.Atom "formula"; S.Atom h ] -> formula := Some h
+          | S.List [ S.Atom "shard"; S.Atom i; S.Atom n ] ->
+              shard := Some (int_of_string i, int_of_string n)
+          | _ -> fail "malformed campaign header field")
+        fields;
+      (match (!config, !formula) with
+      | Some c, Some f -> { config_hash = c; formula_hash = f; shard = !shard }
+      | _ -> fail "campaign header missing config/formula hash")
+  | _ -> fail "expected (campaign-header ...)"
+
+let header_to_string h =
+  let buf = Buffer.create 128 in
+  S.print buf (sexp_of_header h);
+  Buffer.contents buf
+
+let header_of_string s = header_of_sexp (S.parse s)
+
+(* A header mismatch is an operator error (resuming with different flags,
+   merging files from different campaigns), not a parse error. *)
+let check_header ~path ~expect (h : header) =
+  if not (String.equal h.config_hash expect.config_hash) then
+    failwith
+      (Printf.sprintf
+         "%s: checkpoint was written under a different configuration \
+          (config hash %s, expected %s) — match the original flags or start \
+          a fresh run"
+         path h.config_hash expect.config_hash);
+  if not (String.equal h.formula_hash expect.formula_hash) then
+    failwith
+      (Printf.sprintf
+         "%s: checkpoint is from a different campaign (formula hash %s, \
+          expected %s)"
+         path h.formula_hash expect.formula_hash)
+
+type entry = {
+  outcome : Outcome.t;
+  paths : int list list option;
+  metrics_json : string option;
+}
+
+let sexp_of_path p = S.List (List.map (fun i -> S.Atom (string_of_int i)) p)
+
+let path_of_sexp = function
+  | S.List l ->
+      List.map
+        (function
+          | S.Atom a -> int_of_string a | S.List _ -> fail "malformed path")
+        l
+  | S.Atom _ -> fail "malformed region path"
+
+let sexp_of_entry e =
+  S.List
+    ((S.Atom "entry" :: sexp_of_outcome e.outcome :: [])
+    @ (match e.paths with
+      | None -> []
+      | Some ps -> [ S.List (S.Atom "paths" :: List.map sexp_of_path ps) ])
+    @
+    match e.metrics_json with
+    | None -> []
+    | Some j -> [ S.List [ S.Atom "metrics"; S.Atom (encode j) ] ])
+
+let entry_of_sexp = function
+  | S.List (S.Atom "entry" :: outcome :: rest) ->
+      let paths = ref None and metrics = ref None in
+      List.iter
+        (function
+          | S.List (S.Atom "paths" :: ps) ->
+              paths := Some (List.map path_of_sexp ps)
+          | S.List [ S.Atom "metrics"; S.Atom j ] -> metrics := Some (decode j)
+          | _ -> fail "malformed checkpoint entry field")
+        rest;
+      { outcome = outcome_of_sexp outcome; paths = !paths; metrics_json = !metrics }
+  (* plain outcome lines (archives, pre-shard checkpoints) read as entries
+     without paths or metrics *)
+  | sexp -> { outcome = outcome_of_sexp sexp; paths = None; metrics_json = None }
+
+let entry_to_string e =
+  let buf = Buffer.create 4096 in
+  S.print buf (sexp_of_entry e);
+  Buffer.contents buf
+
+let entry_of_string s = entry_of_sexp (S.parse s)
+
+let append_entries path entries =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          output_string oc (entry_to_string e);
+          output_char oc '\n';
+          flush oc)
+        entries)
+
+type line = Header of header | Entry of entry
+
+let line_of_string s =
+  let sexp = S.parse s in
+  match sexp with
+  | S.List (S.Atom "campaign-header" :: _) -> Header (header_of_sexp sexp)
+  | _ -> Entry (entry_of_sexp sexp)
+
+type checkpoint = {
+  cp_header : header option;
+  entries : entry list;
+  truncated : bool;
+  valid_bytes : int;
+}
+
+let read_checkpoint path =
+  if not (Sys.file_exists path) then
+    { cp_header = None; entries = []; truncated = false; valid_bytes = 0 }
   else
-    let ic = open_in path in
+    let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () ->
-        let rec go acc =
+        let rec go header acc valid first =
           match input_line ic with
+          | exception End_of_file ->
+              {
+                cp_header = header;
+                entries = List.rev acc;
+                truncated = false;
+                valid_bytes = valid;
+              }
           | line -> (
-              if String.trim line = "" then go acc
+              if String.trim line = "" then go header acc (pos_in ic) first
               else
-                (* stop at the first malformed line — anything after a torn
-                   write is untrustworthy; the valid prefix is the resume
-                   point *)
-                match of_string line with
-                | o -> go (o :: acc)
-                | exception _ -> List.rev acc)
-          | exception End_of_file -> List.rev acc
+                match line_of_string line with
+                | Header h when first -> go (Some h) acc (pos_in ic) false
+                | Header _ ->
+                    (* a header below the first line can only be torn-write
+                       debris *)
+                    {
+                      cp_header = header;
+                      entries = List.rev acc;
+                      truncated = true;
+                      valid_bytes = valid;
+                    }
+                | Entry e -> go header (e :: acc) (pos_in ic) false
+                | exception _ ->
+                    (* stop at the first malformed line — anything after a
+                       torn write is untrustworthy; the valid prefix is the
+                       resume point *)
+                    {
+                      cp_header = header;
+                      entries = List.rev acc;
+                      truncated = true;
+                      valid_bytes = valid;
+                    })
         in
-        go [])
+        go None [] 0 true)
+
+let repair_checkpoint path =
+  let ck = read_checkpoint path in
+  if ck.truncated then Unix.truncate path ck.valid_bytes;
+  ck
+
+let write_header path header =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (header_to_string header);
+      output_char oc '\n')
+
+let ensure_header path header =
+  let ck = read_checkpoint path in
+  match ck.cp_header with
+  | Some h -> check_header ~path ~expect:header h
+  | None ->
+      (* legacy headerless checkpoints with content are left as-is; empty
+         or absent files get the header *)
+      if ck.entries = [] && ck.valid_bytes = 0 then write_header path header
+
+(* Strict archive loading: malformed lines raise; header lines (written by
+   checkpointing campaigns) are skipped and entry wrappers unwrapped, so a
+   finished checkpoint doubles as an archive for [replay]. *)
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line ->
+            let acc =
+              if String.trim line = "" then acc
+              else
+                match line_of_string line with
+                | Header _ -> acc
+                | Entry e -> e.outcome :: acc
+            in
+            go acc
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let load_checkpoint ?expect path =
+  let ck = read_checkpoint path in
+  (match (expect, ck.cp_header) with
+  | Some e, Some h -> check_header ~path ~expect:e h
+  | _ -> ());
+  List.map (fun e -> e.outcome) ck.entries
+
+(* ------------------------------------------------------------------ *)
+(* Paint log — the region lines alone, one s-expression per line: the
+   byte-comparable rendering shard-merge certification pins down (stats
+   carry wall-clock elapsed and are excluded by design). *)
+
+let paint_to_string (o : Outcome.t) =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      S.print buf (sexp_of_region r);
+      Buffer.add_char buf '\n')
+    o.Outcome.regions;
+  Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* JSON — the trace export format. S-expressions stay the archival
@@ -626,3 +866,41 @@ let trace_report (o : Outcome.t) events =
              ] );
          ("trace", json_of_trace events);
        ])
+
+(* ------------------------------------------------------------------ *)
+(* Metrics snapshots — parse the JSON that [Obs.Metrics.to_json] emits
+   back into a snapshot, so per-shard metrics files (and the per-pair
+   snapshots embedded in shard checkpoints) can be folded with
+   [Obs.Metrics.merge] at merge time. *)
+
+let metrics_of_json_string s =
+  let j = Json.of_string s in
+  (match Json.to_int (Json.member "version" j) with
+  | 1 -> ()
+  | v -> fail "unsupported metrics snapshot version %d" v);
+  let int_assoc what = function
+    | Json.Obj fields -> List.map (fun (k, v) -> (k, Json.to_int v)) fields
+    | _ -> fail "JSON: expected object of integers for %s" what
+  in
+  let det = Json.member "deterministic" j in
+  let wall = Json.member "wall" j in
+  let histograms =
+    match Json.member "histograms" det with
+    | Json.Obj hs ->
+        List.map
+          (fun (name, buckets) ->
+            ( name,
+              List.map
+                (fun (bk, c) -> (int_of_string bk, c))
+                (int_assoc name buckets) ))
+          hs
+    | _ -> fail "JSON: expected histograms object"
+  in
+  {
+    Obs.Metrics.counters = int_assoc "counters" (Json.member "counters" det);
+    histograms;
+    wall_counters = int_assoc "wall counters" (Json.member "counters" wall);
+    gauges = int_assoc "gauges" (Json.member "gauges" wall);
+    timers = int_assoc "timers" (Json.member "timers_ns" wall);
+    elapsed_ns = Json.to_int (Json.member "elapsed_ns" wall);
+  }

@@ -34,11 +34,105 @@ val load : string -> Outcome.t list
 (** [append path outcomes] appends, flushing per outcome. *)
 val append : string -> Outcome.t list -> unit
 
+(** {1 Digests and campaign headers}
+
+    Checkpoints carry a header line identifying the run that wrote them:
+    a hash of the verdict-relevant configuration, a hash of the encoded
+    formula set, and — for sharded campaigns — the shard coordinates.
+    Resume and shard merge refuse checkpoints whose hashes do not match,
+    instead of silently mixing verdicts from different runs. *)
+
+(** [digest s] — 16 lowercase hex chars of a 64-bit byte fold (FNV-style
+    multiply through the splitmix64 finalizer). Stable across processes
+    and platforms. *)
+val digest : string -> string
+
+type header = {
+  config_hash : string;  (** {!digest} of the verdict-relevant config *)
+  formula_hash : string;  (** {!digest} of the encoded problem set *)
+  shard : (int * int) option;  (** [(index, count)] for shard checkpoints *)
+}
+
+val header_to_string : header -> string
+
+(** @raise Parser.Parse_error on malformed input. *)
+val header_of_string : string -> header
+
+(** [check_header ~path ~expect h] raises [Failure] with an operator-facing
+    message naming [path] when [h]'s config or formula hash differs from
+    [expect]'s (the shard field is compared by callers that care). *)
+val check_header : path:string -> expect:header -> header -> unit
+
+(** [write_header path header] creates (or truncates) [path] with the
+    single header line. [ensure_header] is the idempotent variant: an
+    existing header must match ([Failure] otherwise), legacy headerless
+    files with content are left untouched, empty or absent files get the
+    header. *)
+val write_header : string -> header -> unit
+
+val ensure_header : string -> header -> unit
+
+(** {1 Checkpoint entries}
+
+    Sharded checkpoints extend the outcome line with the region paths of
+    the paint log (needed to interleave shard logs back into pre-order at
+    merge time) and the pair's metrics snapshot JSON (so merged metrics
+    reproduce the unsharded run even after a shard was killed and resumed).
+    Plain outcome lines read back as entries with both fields [None]. *)
+
+type entry = {
+  outcome : Outcome.t;
+  paths : int list list option;
+      (** one box path per region of [outcome.regions], same order *)
+  metrics_json : string option;
+      (** [Obs.Metrics.to_json] of the pair's own metrics instance *)
+}
+
+val entry_to_string : entry -> string
+
+(** @raise Parser.Parse_error on malformed input. *)
+val entry_of_string : string -> entry
+
+(** [append_entries path entries] appends, flushing per entry (same torn-
+    tail discipline as {!append}). *)
+val append_entries : string -> entry list -> unit
+
+(** The structured view of a checkpoint file: optional leading header, the
+    valid entry prefix, whether a torn/malformed tail was skipped, and the
+    byte offset where the valid prefix ends (the truncation point for
+    {!repair_checkpoint}). A missing file reads as the empty checkpoint. *)
+type checkpoint = {
+  cp_header : header option;
+  entries : entry list;
+  truncated : bool;
+  valid_bytes : int;
+}
+
+val read_checkpoint : string -> checkpoint
+
+(** [repair_checkpoint path] truncates a torn tail off [path] (no-op when
+    the file is clean or absent) and returns the repaired view — required
+    before appending to a checkpoint that survived a kill, because loaders
+    stop at the torn line and would never see entries appended after it. *)
+val repair_checkpoint : string -> checkpoint
+
 (** [load_checkpoint path] loads the valid prefix of a checkpoint: [[]] if
     the file does not exist, and parsing stops silently at the first
     malformed line (a torn write from a killed campaign) — unlike {!load},
-    which raises. *)
-val load_checkpoint : string -> Outcome.t list
+    which raises. [expect], when given, is checked against the file's
+    header with {!check_header} ([Failure] on mismatch); headerless legacy
+    checkpoints are accepted as before. *)
+val load_checkpoint : ?expect:header -> string -> Outcome.t list
+
+(** [paint_to_string o] — the paint log alone, one region s-expression per
+    line. Stats (which carry wall-clock elapsed) are excluded: this is the
+    rendering the shard-merge byte-identity contract is stated over. *)
+val paint_to_string : Outcome.t -> string
+
+(** [metrics_of_json_string s] parses [Obs.Metrics.to_json] output back
+    into a snapshot, for merge-time folding.
+    @raise Parser.Parse_error on malformed input. *)
+val metrics_of_json_string : string -> Obs.Metrics.snapshot
 
 (** {1 Trace JSON}
 

@@ -1,7 +1,8 @@
-(* Telemetry: box verdict counts, retries and checkpoint writes are
-   deterministic (they depend only on the work, identical at every worker
-   count for deadline-free campaigns); drained-box counts exist only under
-   a deadline and are wall-class. *)
+(* Telemetry: box verdict counts and retries are deterministic (they
+   depend only on the work, identical at every worker count for
+   deadline-free campaigns); drained-box counts exist only under a
+   deadline, and checkpoint writes depend on how the run is deployed
+   (sharded campaigns write one file per shard) — both wall-class. *)
 let m_boxes = Obs.Metrics.counter "verify.boxes"
 let m_verified = Obs.Metrics.counter "verify.boxes.verified"
 let m_counterexample = Obs.Metrics.counter "verify.boxes.counterexample"
@@ -13,7 +14,7 @@ let m_solver_calls = Obs.Metrics.counter "verify.solver_calls"
 let m_retries = Obs.Metrics.counter "verify.retry_attempts"
 let m_drained = Obs.Metrics.counter ~clas:Obs.Metrics.Wall "verify.drained"
 let m_pairs = Obs.Metrics.counter "campaign.pairs"
-let m_ckpt = Obs.Metrics.counter "campaign.checkpoint_writes"
+let m_ckpt = Obs.Metrics.counter ~clas:Obs.Metrics.Wall "campaign.checkpoint_writes"
 let h_depth = Obs.Metrics.histogram "verify.box_depth"
 
 type retry_policy = { max_retries : int; fuel_growth : int }
@@ -107,8 +108,51 @@ let schedule_order_smear a b =
   | 0 -> schedule_order a b
   | c -> c
 
-let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
-    ~domain ~(psi : Form.atom) () =
+(* Multi-process sharding: a campaign pair's box tree is partitioned by
+   box-path prefix. Every shard deterministically replays the {e trunk} —
+   the nodes shallower than [trunk_depth] — because the frontier below a
+   node depends on solve results (verified trunk boxes have no children);
+   only shard 0 paints and counts the trunk, the others replay it silently
+   against scratch stats/metrics. Frontier nodes (depth = [trunk_depth])
+   are assigned round-robin in deterministic walk order, so the shards
+   partition the frontier exactly and the union of the per-shard paint
+   logs is the unsharded log, at any shard count. *)
+type shard_spec = { shard_index : int; shard_count : int }
+
+(* Smallest depth whose full frontier has at least two nodes per shard
+   (fan-out permitting); 0 for a single shard, which makes 1-sharding
+   exactly the unsharded run. *)
+let shard_trunk_depth ~fanout ~count =
+  if count <= 1 then 0
+  else
+    let fanout = Stdlib.max 2 fanout in
+    let rec go d cells =
+      if cells >= 2 * count then d else go (d + 1) (cells * fanout)
+    in
+    go 0 1
+
+(* Per-run solver statistics, aggregated across worker domains. The silent
+   trunk replay of non-owner shards writes to a scratch sink, so each node's
+   stats — like its metrics — are counted exactly once across the fleet. *)
+type stat_sink = {
+  sk_calls : int Atomic.t;
+  sk_expansions : int Atomic.t;
+  sk_prunes : int Atomic.t;
+  sk_revises : int Atomic.t;
+  sk_retries : int Atomic.t;
+}
+
+let fresh_sink () =
+  {
+    sk_calls = Atomic.make 0;
+    sk_expansions = Atomic.make 0;
+    sk_prunes = Atomic.make 0;
+    sk_revises = Atomic.make 0;
+    sk_retries = Atomic.make 0;
+  }
+
+let run_custom_sharded ?(config = default_config) ?recorder ?shard ~dfa_label
+    ~condition_label ~domain ~(psi : Form.atom) () =
   let negated = [ Form.negate_atom psi ] in
   (* Compile the negated formula once per (DFA, condition) pair — not per
      box — and hand the tape to every solver call through its config. The
@@ -163,16 +207,13 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
     | Some d -> Unix.gettimeofday () > d
     | None -> false
   in
-  let solver_calls = Atomic.make 0
-  and total_expansions = Atomic.make 0
-  and total_prunes = Atomic.make 0
-  and total_revise_calls = Atomic.make 0
-  and total_retries = Atomic.make 0 in
+  let sink = fresh_sink () in
   let record path depth box step kind =
     match recorder with
     | Some r -> Trace.record r { Trace.path; depth; step; box; kind }
     | None -> ()
   in
+  let no_record _ _ _ _ _ = () in
   (* Midpoint margin towards satisfying (not psi): smaller = more violating.
      Pure search heuristic — evaluation only, no expression construction,
      so it is safe on worker domains. *)
@@ -187,7 +228,7 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
           | Form.Le0 | Form.Lt0 | Form.Eq0 -> v)
     | _ -> 0.0
   in
-  let children t =
+  let children ~record t =
     Obs.Metrics.time_phase Obs.Metrics.Split @@ fun () ->
     let boxes =
       match (config.split_heuristic, tape) with
@@ -219,11 +260,6 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
         })
       boxes
   in
-  let add_stats (stats : Icp.stats) =
-    ignore (Atomic.fetch_and_add total_expansions stats.Icp.expansions);
-    ignore (Atomic.fetch_and_add total_prunes stats.Icp.prunes);
-    ignore (Atomic.fetch_and_add total_revise_calls stats.Icp.revise_calls)
-  in
   (* Handle one box: solve (with the bounded retry policy), paint, and
      split when unresolved. Runs on worker domains; everything here is
      construction-free (the formula and contractors were built above, on
@@ -232,13 +268,18 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
      as an [Error] region; timed-out calls are retried the same way.
      Fault decisions and fuel schedules depend only on the box and the
      attempt ordinal, never on scheduling, so the paint log stays
-     identical at every worker count. *)
-  let handle t =
+     identical at every worker count — and at every shard count. *)
+  let handle_with ~sink ~record t =
     if t.width < config.threshold then begin
       Obs.Metrics.incr m_subthreshold 1;
       (None, [])
     end
     else begin
+      let add_stats (stats : Icp.stats) =
+        ignore (Atomic.fetch_and_add sink.sk_expansions stats.Icp.expansions);
+        ignore (Atomic.fetch_and_add sink.sk_prunes stats.Icp.prunes);
+        ignore (Atomic.fetch_and_add sink.sk_revises stats.Icp.revise_calls)
+      in
       let region status subtasks =
         record t.path t.depth t.box 2 (Trace.Verdict (Outcome.status_name status));
         Obs.Metrics.incr m_boxes 1;
@@ -257,13 +298,13 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
       (* Retry events get negative steps so a box's failed attempts sort
          before its final contract/solve burst in the path-ordered log. *)
       let record_retry k reason fuel =
-        Atomic.incr total_retries;
+        Atomic.incr sink.sk_retries;
         Obs.Metrics.incr m_retries 1;
         record t.path t.depth t.box (k + 1 - 1000)
           (Trace.Retry { attempt = k + 1; reason; fuel })
       in
       let rec attempt_solve k =
-        Atomic.incr solver_calls;
+        Atomic.incr sink.sk_calls;
         Obs.Metrics.incr m_solver_calls 1;
         let scfg =
           {
@@ -309,20 +350,20 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
       | `Failed msg ->
           (* error isolation: this box is painted errored and split — its
              children re-roll the dice — while the campaign continues *)
-          region (Outcome.Error msg) (children t)
+          region (Outcome.Error msg) (children ~record t)
       | `Solved Icp.Unsat -> region Outcome.Verified []
       | `Solved (Icp.Sat { model; _ }) ->
           let status =
             if valid_model negated model then Outcome.Counterexample model
             else Outcome.Inconclusive model
           in
-          region status (children t)
-      | `Solved Icp.Timeout -> region Outcome.Timeout (children t)
+          region status (children ~record t)
+      | `Solved Icp.Timeout -> region Outcome.Timeout (children ~record t)
     end
   in
   (* Supervision backstop: a failure outside the retried solver call (e.g.
      in the split heuristic) still only costs its own box. *)
-  let recover t e =
+  let recover_with ~record t e =
     let status = Outcome.Error (Printexc.to_string e) in
     record t.path t.depth t.box 2 (Trace.Verdict (Outcome.status_name status));
     Obs.Metrics.incr m_boxes 1;
@@ -330,6 +371,8 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
     Obs.Metrics.observe h_depth t.depth;
     (Some (t.path, { Outcome.box = t.box; status; depth = t.depth }), [])
   in
+  let handle = handle_with ~sink ~record in
+  let recover = recover_with ~record in
   let root =
     {
       box = domain;
@@ -345,9 +388,66 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
     | `Widest -> schedule_order
     | `Smear -> schedule_order_smear
   in
+  (* Prefix restriction: replay the trunk, keep the owned frontier slice.
+     With no shard spec (or a single shard) the worklist is seeded with the
+     root and nothing changes. *)
+  let shard =
+    match shard with Some s when s.shard_count > 1 -> Some s | _ -> None
+  in
+  let trunk_painted, init =
+    match shard with
+    | None -> ([], [ root ])
+    | Some { shard_index; shard_count } ->
+        let fanout =
+          match (config.split_heuristic, tape) with
+          | `Smear, Some _ -> 2
+          | _ -> List.length (Box.split_all domain)
+        in
+        let trunk_depth = shard_trunk_depth ~fanout ~count:shard_count in
+        let owns_trunk = shard_index = 0 in
+        let scratch_sink = fresh_sink () in
+        let scratch_metrics = Obs.Metrics.fresh () in
+        let silently f =
+          let prev = Obs.Metrics.install scratch_metrics in
+          Fun.protect
+            ~finally:(fun () -> ignore (Obs.Metrics.install prev))
+            f
+        in
+        let painted = ref [] and frontier = ref [] in
+        let rec walk t =
+          if t.depth >= trunk_depth then frontier := t :: !frontier
+          else if owns_trunk then begin
+            (* the trunk runs outside the worklist; account for it so the
+               merged deterministic task count equals the unsharded run *)
+            Worklist.external_task ();
+            let r, subs =
+              match handle t with res -> res | exception e -> recover t e
+            in
+            Option.iter (fun r -> painted := r :: !painted) r;
+            List.iter walk subs
+          end
+          else begin
+            let subs =
+              silently (fun () ->
+                  match handle_with ~sink:scratch_sink ~record:no_record t with
+                  | _, subs -> subs
+                  | exception e ->
+                      snd (recover_with ~record:no_record t e))
+            in
+            List.iter walk subs
+          end
+        in
+        walk root;
+        let mine =
+          List.filteri
+            (fun pos _ -> pos mod shard_count = shard_index)
+            (List.rev !frontier)
+        in
+        (List.rev !painted, mine)
+  in
   let { Worklist.results; dropped } =
     Worklist.process ~workers:(Stdlib.max 1 config.workers)
-      ~compare ~stop:past_deadline ~recover ~handle [ root ]
+      ~compare ~stop:past_deadline ~recover ~handle init
   in
   (* Graceful drain: boxes still pending at the deadline are painted as
      timeouts (the old recursion's behaviour for boxes it reached after the
@@ -365,28 +465,34 @@ let run_custom ?(config = default_config) ?recorder ~dfa_label ~condition_label
   Obs.Metrics.incr m_drained (List.length drained);
   (* Restore the pre-order paint log: parents (shorter paths) before
      children, siblings in violation-first order — identical to the old
-     depth-first recursion's log, and identical at every worker count. *)
-  let regions =
+     depth-first recursion's log, identical at every worker count, and
+     (unioned across shards) at every shard count. *)
+  let painted =
     Obs.Metrics.time_phase Obs.Metrics.Paint (fun () ->
-        List.filter_map Fun.id results @ drained
-        |> List.sort (fun (p1, _) (p2, _) -> Trace.compare_path p1 p2)
-        |> List.map snd)
+        trunk_painted @ List.filter_map Fun.id results @ drained
+        |> List.sort (fun (p1, _) (p2, _) -> Trace.compare_path p1 p2))
   in
-  {
-    Outcome.dfa = dfa_label;
-    condition = condition_label;
-    domain;
-    regions;
-    stats =
-      {
-        Outcome.solver_calls = Atomic.get solver_calls;
-        total_expansions = Atomic.get total_expansions;
-        total_prunes = Atomic.get total_prunes;
-        total_revise_calls = Atomic.get total_revise_calls;
-        retries = Atomic.get total_retries;
-        elapsed = Unix.gettimeofday () -. started;
-      };
-  }
+  ( {
+      Outcome.dfa = dfa_label;
+      condition = condition_label;
+      domain;
+      regions = List.map snd painted;
+      stats =
+        {
+          Outcome.solver_calls = Atomic.get sink.sk_calls;
+          total_expansions = Atomic.get sink.sk_expansions;
+          total_prunes = Atomic.get sink.sk_prunes;
+          total_revise_calls = Atomic.get sink.sk_revises;
+          retries = Atomic.get sink.sk_retries;
+          elapsed = Unix.gettimeofday () -. started;
+        };
+    },
+    List.map fst painted )
+
+let run_custom ?config ?recorder ~dfa_label ~condition_label ~domain ~psi () =
+  fst
+    (run_custom_sharded ?config ?recorder ~dfa_label ~condition_label ~domain
+       ~psi ())
 
 let run ?config ?recorder (p : Encoder.problem) =
   run_custom ?config ?recorder ~dfa_label:p.Encoder.dfa.Registry.label
@@ -395,6 +501,79 @@ let run ?config ?recorder (p : Encoder.problem) =
 
 let run_pair ?config ?recorder dfa cond =
   Option.map (run ?config ?recorder) (Encoder.encode dfa cond)
+
+let run_sharded ?config ?shard (p : Encoder.problem) =
+  run_custom_sharded ?config ?shard ~dfa_label:p.Encoder.dfa.Registry.label
+    ~condition_label:(Conditions.name p.Encoder.condition)
+    ~domain:p.Encoder.domain ~psi:p.Encoder.psi ()
+
+(* ------------------------------------------------------------------ *)
+(* Campaign identity hashes (checkpoint headers).
+
+   [config_hash] covers exactly the verdict-relevant knobs: threshold,
+   solver fuel/delta/rounds/sample-check, the fault plan, contractor and
+   tape choices, split heuristic and retry policy. [workers] and
+   [deadline_seconds] are deliberately excluded — they change scheduling,
+   never verdicts (for deadline-free runs), and a checkpoint taken at -j4
+   must be resumable at -j1. *)
+
+let config_hash (c : config) =
+  let b = Buffer.create 128 in
+  let add fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b s;
+        Buffer.add_char b '|')
+      fmt
+  in
+  add "%h" c.threshold;
+  add "%d" c.solver.Icp.fuel;
+  add "%h" c.solver.Icp.delta;
+  add "%d" c.solver.Icp.contractor_rounds;
+  add "%b" c.solver.Icp.sample_check;
+  (match c.solver.Icp.faults with
+  | None -> add "faults:none"
+  | Some p ->
+      add "faults:%Lx:%h:%s" p.Fault.seed p.Fault.rate
+        (String.concat ","
+           (List.map
+              (function
+                | Fault.Raise -> "raise"
+                | Fault.Nan -> "nan"
+                | Fault.Timeout -> "timeout")
+              p.Fault.kinds)));
+  add "%b" c.use_taylor;
+  add "%b" c.use_tape;
+  add "%s" (match c.split_heuristic with `Widest -> "widest" | `Smear -> "smear");
+  add "%d" c.retry.max_retries;
+  add "%d" c.retry.fuel_growth;
+  Serialize.digest (Buffer.contents b)
+
+let problem_fingerprint (p : Encoder.problem) =
+  let box =
+    String.concat ";"
+      (List.map
+         (fun v ->
+           let iv = Box.get p.Encoder.domain v in
+           Printf.sprintf "%s=%h..%h" v (Interval.inf iv) (Interval.sup iv))
+         (Box.vars p.Encoder.domain))
+  in
+  let rel =
+    match p.Encoder.psi.Form.rel with
+    | Form.Ge0 -> ">=0"
+    | Form.Gt0 -> ">0"
+    | Form.Le0 -> "<=0"
+    | Form.Lt0 -> "<0"
+    | Form.Eq0 -> "=0"
+  in
+  Printf.sprintf "%s|%s|%s|%s %s" p.Encoder.dfa.Registry.label
+    (Conditions.name p.Encoder.condition)
+    box
+    (Printer.sexp_to_string p.Encoder.psi.Form.expr)
+    rel
+
+let formula_hash problems =
+  Serialize.digest (String.concat "\n" (List.map problem_fingerprint problems))
 
 (* A pair whose run failed outright (exception outside the box-level
    isolation, retries exhausted): the whole domain is painted as a single
@@ -407,10 +586,6 @@ let error_outcome ~dfa ~condition ~domain ~retries msg =
     regions = [ { Outcome.box = domain; status = Outcome.Error msg; depth = 0 } ];
     stats = { Outcome.zero_stats with Outcome.retries };
   }
-
-let load_resumed = function
-  | None -> []
-  | Some path -> Serialize.load_checkpoint path
 
 let find_resumed resumed ~dfa_label ~condition_name =
   List.find_opt
@@ -458,35 +633,49 @@ let run_pair_supervised ~config (p : Encoder.problem) =
   go 0
 
 let campaign ?(config = default_config) ?checkpoint ?resume dfas =
-  let resumed = load_resumed resume in
-  List.concat_map
-    (fun dfa ->
-      List.filter_map
-        (fun cond ->
-          match
-            find_resumed resumed ~dfa_label:dfa.Registry.label
-              ~condition_name:(Conditions.name cond)
-          with
-          | Some o -> Some o
-          | None -> (
-              match
-                Obs.Metrics.time_phase Obs.Metrics.Encode (fun () ->
-                    Encoder.encode dfa cond)
-              with
-              | None -> None
-              | Some p ->
-                  let o = run_pair_supervised ~config p in
-                  Obs.Metrics.incr m_pairs 1;
-                  (* one flushed line per completed pair: a SIGKILL loses at
-                     most the pair in flight, and resume replays the rest *)
-                  Option.iter
-                    (fun path ->
-                      Serialize.append path [ o ];
-                      Obs.Metrics.incr m_ckpt 1)
-                    checkpoint;
-                  Some o))
-        Conditions.all)
-    dfas
+  let problems =
+    Obs.Metrics.time_phase Obs.Metrics.Encode (fun () ->
+        Encoder.encode_all dfas)
+  in
+  let header =
+    {
+      Serialize.config_hash = config_hash config;
+      formula_hash = formula_hash problems;
+      shard = None;
+    }
+  in
+  let resumed =
+    match resume with
+    | None -> []
+    | Some path -> Serialize.load_checkpoint ~expect:header path
+  in
+  Option.iter
+    (fun path ->
+      (* a checkpoint that survived a kill may end in a torn line; truncate
+         it before appending, or the resume loader would stop short of the
+         new entries *)
+      if resume = Some path then ignore (Serialize.repair_checkpoint path);
+      Serialize.ensure_header path header)
+    checkpoint;
+  List.map
+    (fun (p : Encoder.problem) ->
+      match
+        find_resumed resumed ~dfa_label:p.Encoder.dfa.Registry.label
+          ~condition_name:(Conditions.name p.Encoder.condition)
+      with
+      | Some o -> o
+      | None ->
+          let o = run_pair_supervised ~config p in
+          Obs.Metrics.incr m_pairs 1;
+          (* one flushed line per completed pair: a SIGKILL loses at
+             most the pair in flight, and resume replays the rest *)
+          Option.iter
+            (fun path ->
+              Serialize.append path [ o ];
+              Obs.Metrics.incr m_ckpt 1)
+            checkpoint;
+          o)
+    problems
 
 let campaign_parallel ?(config = default_config) ?checkpoint ?resume ~workers
     dfas =
@@ -497,7 +686,23 @@ let campaign_parallel ?(config = default_config) ?checkpoint ?resume ~workers
     Obs.Metrics.time_phase Obs.Metrics.Encode (fun () ->
         Encoder.encode_all dfas)
   in
-  let resumed = load_resumed resume in
+  let header =
+    {
+      Serialize.config_hash = config_hash config;
+      formula_hash = formula_hash problems;
+      shard = None;
+    }
+  in
+  let resumed =
+    match resume with
+    | None -> []
+    | Some path -> Serialize.load_checkpoint ~expect:header path
+  in
+  Option.iter
+    (fun path ->
+      if resume = Some path then ignore (Serialize.repair_checkpoint path);
+      Serialize.ensure_header path header)
+    checkpoint;
   let fresh, reused =
     List.partition
       (fun (p : Encoder.problem) ->
@@ -542,3 +747,160 @@ let campaign_parallel ?(config = default_config) ?checkpoint ?resume ~workers
                    (Conditions.name p.Encoder.condition))
             outcomes)
     problems
+
+(* ------------------------------------------------------------------ *)
+(* Sharded campaigns: one process runs [shard i/N] of every pair's box
+   tree and appends to its own checkpoint, whose entries carry the paint
+   paths and the pair's metrics snapshot. Each pair runs under a fresh
+   metrics instance so its snapshot is self-contained: the shard's final
+   metrics are the fold of its per-pair snapshots, which makes metrics
+   resumable — a killed and restarted shard recovers the metrics of its
+   completed pairs from the checkpoint, and the merged deterministic
+   section still equals the unsharded run byte for byte. *)
+
+let shard_header ~config ~problems (shard : shard_spec) =
+  {
+    Serialize.config_hash = config_hash config;
+    formula_hash = formula_hash problems;
+    shard = Some (shard.shard_index, shard.shard_count);
+  }
+
+(* Pair-level supervision for a sharded run, mirroring
+   [run_pair_supervised]. *)
+let run_sharded_supervised ~config ~shard (p : Encoder.problem) =
+  let dfa = p.Encoder.dfa.Registry.label
+  and condition = Conditions.name p.Encoder.condition in
+  let rec go k =
+    let cfg =
+      {
+        config with
+        solver =
+          {
+            config.solver with
+            Icp.fuel =
+              escalated_fuel config.solver.Icp.fuel config.retry.fuel_growth k;
+          };
+      }
+    in
+    match run_sharded ~config:cfg ~shard p with
+    | o, paths when k = 0 -> (o, paths)
+    | o, paths ->
+        ( {
+            o with
+            Outcome.stats =
+              {
+                o.Outcome.stats with
+                Outcome.retries = o.Outcome.stats.Outcome.retries + k;
+              };
+          },
+          paths )
+    | exception e ->
+        if k < config.retry.max_retries then go (k + 1)
+        else
+          ( error_outcome ~dfa ~condition ~domain:p.Encoder.domain ~retries:k
+              (Printexc.to_string e),
+            [ [] ] )
+  in
+  go 0
+
+let shard_campaign ?(config = default_config) ~shard ~checkpoint ?resume
+    ?(on_pair = fun (_ : Outcome.t) -> ()) dfas =
+  if
+    shard.shard_count < 1
+    || shard.shard_index < 0
+    || shard.shard_index >= shard.shard_count
+  then
+    invalid_arg
+      (Printf.sprintf "Verify.shard_campaign: bad shard %d/%d"
+         shard.shard_index shard.shard_count);
+  let problems =
+    Obs.Metrics.time_phase Obs.Metrics.Encode (fun () ->
+        Encoder.encode_all dfas)
+  in
+  let header = shard_header ~config ~problems shard in
+  let resumed =
+    match resume with
+    | Some path when Sys.file_exists path ->
+        let ck = Serialize.read_checkpoint path in
+        (match ck.Serialize.cp_header with
+        | None ->
+            failwith
+              (Printf.sprintf "%s: shard checkpoint has no campaign header"
+                 path)
+        | Some h ->
+            Serialize.check_header ~path ~expect:header h;
+            (match h.Serialize.shard with
+            | Some (i, n)
+              when i = shard.shard_index && n = shard.shard_count ->
+                ()
+            | _ ->
+                failwith
+                  (Printf.sprintf
+                     "%s: checkpoint belongs to a different shard (expected \
+                      %d/%d)"
+                     path shard.shard_index shard.shard_count)));
+        if path = checkpoint then
+          (* truncate any torn tail before appending new entries *)
+          (Serialize.repair_checkpoint checkpoint).Serialize.entries
+        else begin
+          (* resuming into a different file: rewrite header + entries so
+             the new checkpoint is self-contained for the merge *)
+          Serialize.write_header checkpoint header;
+          Serialize.append_entries checkpoint ck.Serialize.entries;
+          ck.Serialize.entries
+        end
+    | _ ->
+        (* fresh shard run: a stale checkpoint from an earlier attempt must
+           not survive underneath the new one *)
+        Serialize.write_header checkpoint header;
+        []
+  in
+  let find_entry (p : Encoder.problem) =
+    List.find_opt
+      (fun (e : Serialize.entry) ->
+        String.equal e.Serialize.outcome.Outcome.dfa
+          p.Encoder.dfa.Registry.label
+        && String.equal e.Serialize.outcome.Outcome.condition
+             (Conditions.name p.Encoder.condition))
+      resumed
+  in
+  let pairs =
+    List.map
+      (fun (p : Encoder.problem) ->
+        match find_entry p with
+        | Some e ->
+            let paths = Option.value e.Serialize.paths ~default:[] in
+            let snap =
+              match e.Serialize.metrics_json with
+              | Some j -> Serialize.metrics_of_json_string j
+              | None -> Obs.Metrics.empty_snapshot
+            in
+            ((e.Serialize.outcome, paths), snap)
+        | None ->
+            let prev = Obs.Metrics.install (Obs.Metrics.fresh ()) in
+            let o, paths, snap =
+              Fun.protect
+                ~finally:(fun () -> ignore (Obs.Metrics.install prev))
+                (fun () ->
+                  let o, paths = run_sharded_supervised ~config ~shard p in
+                  (* the trunk owner also owns campaign-level accounting:
+                     merged pair counts must equal the unsharded run *)
+                  if shard.shard_index = 0 then Obs.Metrics.incr m_pairs 1;
+                  (o, paths, Obs.Metrics.snapshot ()))
+            in
+            Serialize.append_entries checkpoint
+              [
+                {
+                  Serialize.outcome = o;
+                  paths = Some paths;
+                  metrics_json = Some (Obs.Metrics.to_json snap);
+                };
+              ];
+            Obs.Metrics.incr m_ckpt 1;
+            on_pair o;
+            ((o, paths), snap))
+      problems
+  in
+  ( List.map fst pairs,
+    List.fold_left Obs.Metrics.merge Obs.Metrics.empty_snapshot
+      (List.map snd pairs) )

@@ -101,6 +101,54 @@ val run_pair :
   ?config:config -> ?recorder:Trace.t -> Registry.t -> Conditions.id ->
   Outcome.t option
 
+(** {1 Multi-process sharding}
+
+    A campaign pair's box tree is partitioned by box-path prefix across
+    [shard_count] cooperating processes. Every shard deterministically
+    replays the {e trunk} — the nodes shallower than the shard frontier
+    depth — because which frontier nodes exist depends on solve results;
+    only shard 0 paints and counts trunk nodes (the others replay them
+    silently against scratch stats and a scratch metrics instance), and
+    frontier nodes are assigned round-robin in deterministic walk order.
+    Consequences, certified by the [@shard] test gate: the per-shard paint
+    logs partition the unsharded log exactly; deterministic metrics and
+    stats merge (by summation) to the unsharded values; and all of this
+    holds at any shard count x any per-shard worker count, for
+    deadline-free runs. *)
+
+type shard_spec = {
+  shard_index : int;  (** 0-based; shard 0 owns the trunk *)
+  shard_count : int;  (** [1] behaves exactly like an unsharded run *)
+}
+
+(** [run_custom_sharded ~shard ...] is {!run_custom} restricted to the
+    shard's slice, additionally returning the box path of every region of
+    the paint log (in the same order as [regions]) — the sort key a merge
+    needs to interleave shard logs back into pre-order. *)
+val run_custom_sharded :
+  ?config:config -> ?recorder:Trace.t -> ?shard:shard_spec ->
+  dfa_label:string -> condition_label:string -> domain:Box.t ->
+  psi:Form.atom -> unit -> Outcome.t * int list list
+
+(** [run_sharded ~shard problem] — {!run} for one shard; as
+    {!run_custom_sharded} for an encoded problem. *)
+val run_sharded :
+  ?config:config -> ?shard:shard_spec -> Encoder.problem ->
+  Outcome.t * int list list
+
+(** [config_hash config] — {!Serialize.digest} of the verdict-relevant
+    configuration: threshold, solver fuel/delta/rounds/sample-check, fault
+    plan, contractor and tape choices, split heuristic, retry policy.
+    [workers] and [deadline_seconds] are excluded: they change scheduling,
+    never verdicts (for deadline-free runs), so a checkpoint taken at -j4
+    resumes at -j1. *)
+val config_hash : config -> string
+
+(** [formula_hash problems] — {!Serialize.digest} over the encoded problem
+    set (labels, domains, condition expressions); two campaigns share it
+    iff they verify the same formulas over the same boxes. *)
+val formula_hash : Encoder.problem list -> string
+
 (** [campaign ~config dfas] runs every applicable pair (Table I's rows x
     columns), sequentially per pair (each pair still uses
     [config.workers] domains internally).
@@ -134,3 +182,32 @@ val campaign :
 val campaign_parallel :
   ?config:config -> ?checkpoint:string -> ?resume:string -> workers:int ->
   Registry.t list -> Outcome.t list
+
+(** [shard_campaign ~shard ~checkpoint dfas] runs shard
+    [shard.shard_index] of [shard.shard_count] of the campaign,
+    sequentially per pair. Each pair runs under a private fresh metrics
+    instance; the completed pair is appended to [checkpoint] as one
+    flushed {!Serialize.entry} line carrying the outcome, its region
+    paths, and the pair's metrics snapshot JSON. The checkpoint starts
+    with a shard-coordinated {!Serialize.header}; a fresh run truncates
+    whatever was at [checkpoint] before.
+
+    [resume], when given, must be a shard checkpoint with a matching
+    header ([Failure] otherwise — config hash, formula hash and shard
+    coordinates are all checked); its completed pairs are reused, {e
+    including their metrics snapshots}, which is what keeps the merged
+    deterministic metrics byte-identical to the unsharded run even after
+    a shard was SIGKILLed and restarted. When [resume] is the checkpoint
+    path itself, a torn tail from the kill is truncated
+    ({!Serialize.repair_checkpoint}) before new entries are appended.
+
+    [on_pair] fires after each fresh (non-resumed) pair is checkpointed —
+    the supervisor tests use it to kill a shard at a deterministic point.
+
+    Returns the per-pair [(outcome, paths)] list in canonical pair order
+    and the shard's folded metrics snapshot (the fold of its per-pair
+    snapshots — what a per-shard [--metrics] file should contain). *)
+val shard_campaign :
+  ?config:config -> shard:shard_spec -> checkpoint:string ->
+  ?resume:string -> ?on_pair:(Outcome.t -> unit) -> Registry.t list ->
+  (Outcome.t * int list list) list * Obs.Metrics.snapshot

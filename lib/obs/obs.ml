@@ -492,15 +492,17 @@ module Progress = struct
     out : out_channel;
     total_pairs : int;
     start_ns : int;
+    label : string;  (* e.g. "shard 1/4"; "" for unsharded campaigns *)
   }
 
   let state : cfg option Atomic.t = Atomic.make None
   let last_emit = Atomic.make 0
 
-  let enable ?(interval_ns = 1_000_000_000) ?(out = stderr) ~total_pairs () =
+  let enable ?(interval_ns = 1_000_000_000) ?(out = stderr) ?(label = "")
+      ~total_pairs () =
     Atomic.set last_emit (Clock.now_ns ());
     Atomic.set state
-      (Some { interval_ns; out; total_pairs; start_ns = Clock.now_ns () })
+      (Some { interval_ns; out; total_pairs; start_ns = Clock.now_ns (); label })
 
   let disable () = Atomic.set state None
 
@@ -514,7 +516,8 @@ module Progress = struct
       if rate > 0.0 then float_of_int frontier /. rate else Float.infinity
     in
     Printf.fprintf cfg.out
-      "[campaign] pairs %d/%d  boxes %d (%.0f/s)  frontier %d  eta>=%.0fs\n%!"
+      "[campaign%s] pairs %d/%d  boxes %d (%.0f/s)  frontier %d  eta>=%.0fs\n%!"
+      (if cfg.label = "" then "" else " " ^ cfg.label)
       pairs cfg.total_pairs boxes rate frontier
       (if Float.is_finite eta then eta else 0.0)
 

@@ -146,8 +146,12 @@ module Progress : sig
       called by the worklist once per task and is a single atomic load when
       disabled (the default). *)
 
+  (** [label], when given, tags the line (e.g. ["shard 1/4"] renders as
+      ["[campaign shard 1/4] ..."]) so interleaved stderr from concurrent
+      shard processes stays attributable. *)
   val enable :
-    ?interval_ns:int -> ?out:out_channel -> total_pairs:int -> unit -> unit
+    ?interval_ns:int -> ?out:out_channel -> ?label:string ->
+    total_pairs:int -> unit -> unit
 
   val disable : unit -> unit
   val tick : unit -> unit

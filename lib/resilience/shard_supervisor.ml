@@ -1,0 +1,83 @@
+(* Cross-process fault tolerance for sharded campaigns.
+
+   The supervisor owns nothing about campaigns — it is parameterised over
+   [spawn], which forks (or fork/execs) one shard and returns its pid.
+   That keeps the policy testable in-process: the kill-a-shard test spawns
+   children with Unix.fork and SIGKILLs one of them, and the CLI spawns
+   real `campaign --shard i/N` processes through the same interface.
+
+   Restart policy: a shard that dies (non-zero exit or a signal) is
+   relaunched with [resume:true], pointing it back at its own checkpoint —
+   the torn-tail repair plus per-pair resume in Verify.shard_campaign make
+   the restart pick up exactly where the dead process left off. Each shard
+   has its own restart budget; exhausting it aborts the whole campaign
+   (remaining shards are SIGTERMed and reaped) because a merge would fail
+   on the incomplete shard anyway. *)
+
+type event =
+  | Started of { shard : int; pid : int; restart : int }
+  | Died of { shard : int; pid : int; status : Unix.process_status }
+  | Restarting of { shard : int; restart : int }
+  | Gave_up of { shard : int }
+
+let status_to_string = function
+  | Unix.WEXITED n -> Printf.sprintf "exited %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "stopped by signal %d" n
+
+let supervise ~count ?(max_restarts = 3) ?(on_event = fun (_ : event) -> ())
+    ~spawn () =
+  if count <= 0 then invalid_arg "Shard_supervisor.supervise: count <= 0";
+  (* pid -> shard, plus per-shard restart counters. *)
+  let of_pid = Hashtbl.create 16 in
+  let restarts = Array.make count 0 in
+  let launch ~shard ~resume =
+    let pid = spawn ~shard ~resume in
+    Hashtbl.replace of_pid pid shard;
+    on_event (Started { shard; pid; restart = restarts.(shard) });
+    pid
+  in
+  let kill_all () =
+    Hashtbl.iter
+      (fun pid _ -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+      of_pid;
+    Hashtbl.iter
+      (fun pid _ -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      of_pid;
+    Hashtbl.reset of_pid
+  in
+  try
+    for shard = 0 to count - 1 do
+      ignore (launch ~shard ~resume:false)
+    done;
+    let live = ref count in
+    while !live > 0 do
+      let pid, status = Unix.wait () in
+      match Hashtbl.find_opt of_pid pid with
+      | None -> () (* not ours — e.g. a grandchild reparented our way *)
+      | Some shard -> (
+          Hashtbl.remove of_pid pid;
+          match status with
+          | Unix.WEXITED 0 -> decr live
+          | status ->
+              on_event (Died { shard; pid; status });
+              if restarts.(shard) >= max_restarts then (
+                on_event (Gave_up { shard });
+                kill_all ();
+                raise Exit)
+              else (
+                restarts.(shard) <- restarts.(shard) + 1;
+                on_event (Restarting { shard; restart = restarts.(shard) });
+                ignore (launch ~shard ~resume:true)))
+    done;
+    Ok (Array.fold_left ( + ) 0 restarts)
+  with
+  | Exit ->
+      Error
+        (Printf.sprintf
+           "a shard died %d times in a row — giving up (see the per-shard \
+            checkpoint for the completed prefix)"
+           (max_restarts + 1))
+  | e ->
+      kill_all ();
+      raise e

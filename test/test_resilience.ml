@@ -310,13 +310,15 @@ let test_checkpoint_resume_reproduces () =
       Sys.remove path;
       let full = Verify.campaign ~config:campaign_config ~checkpoint:path lyp in
       check_true "campaign produced outcomes" (List.length full >= 2);
-      (* simulate a SIGKILL after the first pair: keep one checkpoint line
-         plus a torn tail *)
+      (* simulate a SIGKILL after the first pair: keep the campaign header
+         and one checkpoint line plus a torn tail *)
       let lines =
         String.split_on_char '\n' (In_channel.with_open_text path In_channel.input_all)
       in
       Out_channel.with_open_text path (fun oc ->
-          Out_channel.output_string oc (List.hd lines);
+          Out_channel.output_string oc (List.nth lines 0);
+          Out_channel.output_string oc "\n";
+          Out_channel.output_string oc (List.nth lines 1);
           Out_channel.output_string oc "\n(outcome 3 (dfa to");
       let resumed =
         Verify.campaign ~config:campaign_config ~resume:path lyp
