@@ -880,6 +880,95 @@ let hc4_bench () =
 
 (* ------------------------------------------------------------------ *)
 
+(* The verification service, measured at the engine layer (no socket, so
+   numbers isolate admission + cache + solve): a fixed query mix submitted
+   three times over — the second and third waves should be pure cache
+   hits. Reports throughput, per-query latency percentiles and the cache
+   hit rate read back from the service counters. *)
+let bench_service_fuel = getenv_int "XCV_BENCH_SERVICE_FUEL" 60
+
+let service_bench () =
+  section "verification service: engine throughput and verdict cache";
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xcv-bench-service-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm_rf dir;
+  let verify =
+    {
+      campaign_config with
+      Verify.threshold = 0.25;
+      solver = { campaign_config.Verify.solver with Icp.fuel = bench_service_fuel };
+      deadline_seconds = None;
+    }
+  in
+  let engine_cfg =
+    { Engine.default_config with Engine.cache_dir = dir; max_inflight = 64; verify }
+  in
+  let t = Engine.create engine_cfg in
+  let client = Engine.new_client t in
+  let mix =
+    [ ("pbe", "ec1"); ("pbe", "ec2"); ("lyp", "ec1"); ("vwn_rpa", "ec6") ]
+  in
+  let latencies = ref [] in
+  let failures = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let id = ref 0 in
+  for _wave = 1 to 3 do
+    List.iter
+      (fun (dfa, condition) ->
+        incr id;
+        let q0 = Unix.gettimeofday () in
+        (match
+           Engine.submit t client
+             (Protocol.Verify
+                { id = !id; dfa; condition; opts = Protocol.no_opts })
+         with
+        | None ->
+            let ok = ref false in
+            Engine.drain t () ~on_response:(fun _ resp ->
+                match resp with
+                | Protocol.Result _ -> ok := true
+                | _ -> ());
+            if not !ok then incr failures
+        | Some _ -> incr failures);
+        latencies := (Unix.gettimeofday () -. q0) :: !latencies)
+      mix
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let sorted = List.sort compare !latencies |> Array.of_list in
+  let n = Array.length sorted in
+  let pct p = sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1)))) in
+  let hits = Obs.Metrics.read (Obs.Metrics.counter "service.cache.hits") in
+  let misses = Obs.Metrics.read (Obs.Metrics.counter "service.cache.misses") in
+  let hit_rate =
+    if hits + misses = 0 then 0.0
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
+  Printf.printf "queries %d  failures %d  wall %.2fs  (%.1f q/s)\n" n !failures
+    wall
+    (float_of_int n /. wall);
+  Printf.printf "latency p50 %.1f ms  p99 %.1f ms\n" (1000. *. pct 0.5)
+    (1000. *. pct 0.99);
+  Printf.printf "cache: %d hits / %d misses (hit rate %.2f)\n%!" hits misses
+    hit_rate;
+  record_metric "queries" (float_of_int n);
+  record_metric "failures" (float_of_int !failures);
+  record_metric "throughput_qps" (float_of_int n /. wall);
+  record_metric "latency_p50_ms" (1000. *. pct 0.5);
+  record_metric "latency_p99_ms" (1000. *. pct 0.99);
+  record_metric "cache_hit_rate" hit_rate;
+  rm_rf dir
+
 let () =
   let targets =
     [
@@ -887,6 +976,7 @@ let () =
       ("boundaries", boundaries); ("ablation", ablation);
       ("taylor", ablation_taylor); ("extensions", extensions);
       ("scheduler", scheduler); ("micro", micro); ("hc4", hc4_bench);
+      ("service", service_bench);
     ]
   in
   let args = Array.to_list Sys.argv |> List.tl in

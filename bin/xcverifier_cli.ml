@@ -753,6 +753,201 @@ let compare_cmd =
       const run $ dfa_arg $ condition_arg $ fuel_arg $ threshold_arg
       $ delta_arg $ deadline_arg $ grid_arg)
 
+(* ---- serve / query --------------------------------------------------- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the verification service." in
+  Arg.(value & opt string "xcv.sock" & info [ "socket" ] ~doc ~docv:"PATH")
+
+let deadline_ms_arg =
+  let doc =
+    "Default per-query wall budget in milliseconds; an expired deadline \
+     returns the partial verdict map painted so far."
+  in
+  Arg.(
+    value
+    & opt (some (bounded_int ~what:"deadline-ms" ~min:1)) None
+    & info [ "deadline-ms" ] ~doc)
+
+let serve_cmd =
+  let cache_dir_arg =
+    let doc = "Directory of the persistent verdict cache (created if absent)." in
+    Arg.(value & opt string "xcv-cache" & info [ "cache-dir" ] ~doc ~docv:"DIR")
+  in
+  let max_inflight_arg =
+    let doc =
+      "Admission bound: queued + running queries beyond this are rejected \
+       with an overloaded response instead of buffered."
+    in
+    Arg.(
+      value
+      & opt (bounded_int ~what:"max-inflight" ~min:1) 4
+      & info [ "max-inflight" ] ~doc)
+  in
+  let fuel_quota_arg =
+    let doc =
+      "Per-client solver-fuel quota; queries degrade to coarser grids as \
+       the quota runs down and are refused only when even the coarsest \
+       rung is unaffordable."
+    in
+    Arg.(
+      value
+      & opt (some (bounded_int ~what:"fuel-quota" ~min:1)) None
+      & info [ "fuel-quota" ] ~doc)
+  in
+  let progress_arg =
+    let doc = "Emit the stderr progress line, retagged per query id." in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
+  let run socket cache_dir max_inflight deadline_ms fuel_quota fuel threshold
+      delta workers progress =
+    let verify = config_of ~workers fuel threshold delta None in
+    (* same ambient-hook idiom as XCV_SHARD_KILL_AFTER: tear the cache
+       group file after the Nth commit and die by SIGKILL, so the restart
+       test can check repair + byte-identical replay *)
+    let kill_after =
+      match Sys.getenv_opt "XCV_SERVE_KILL_AFTER" with
+      | Some s -> int_of_string_opt s
+      | None -> None
+    in
+    let engine =
+      {
+        Engine.cache_dir;
+        max_inflight;
+        default_deadline_ms = deadline_ms;
+        fuel_quota;
+        verify;
+        io_faults = Fault.io_of_env ();
+        kill_after;
+      }
+    in
+    if progress then Obs.Progress.enable ~label:"service" ~total_pairs:0 ();
+    Printf.printf "serving on %s (cache %s, max-inflight %d)\n%!" socket
+      cache_dir max_inflight;
+    match
+      Daemon.run
+        { Daemon.engine; socket_path = socket; progress_interval_ms = 500 }
+    with
+    | () -> ()
+    | exception Failure msg ->
+        prerr_endline msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the verification daemon: crash-safe verdict cache, bounded \
+          admission, per-client quotas with graceful degradation")
+    Term.(
+      const run $ socket_arg $ cache_dir_arg $ max_inflight_arg
+      $ deadline_ms_arg $ fuel_quota_arg $ fuel_arg $ threshold_arg
+      $ delta_arg $ workers_arg $ progress_arg)
+
+let query_cmd =
+  let condition_opt_arg =
+    let doc =
+      "Exact condition (ec1 .. ec7); omit to run every applicable \
+       condition for the functional (a campaign query)."
+    in
+    Arg.(
+      value & opt (some string) None
+      & info [ "c"; "condition" ] ~doc ~docv:"COND")
+  in
+  let id_arg =
+    let doc = "Client-chosen query id echoed in every response." in
+    Arg.(value & opt int 1 & info [ "id" ] ~doc)
+  in
+  let fuel_opt_arg =
+    let doc = "Solver fuel override for this query." in
+    Arg.(
+      value
+      & opt (some (bounded_int ~what:"fuel" ~min:1)) None
+      & info [ "fuel" ] ~doc)
+  in
+  let threshold_opt_arg =
+    let doc = "Splitting-threshold override for this query." in
+    Arg.(
+      value
+      & opt (some (positive_float ~what:"threshold")) None
+      & info [ "t"; "threshold" ] ~doc)
+  in
+  let stats_arg =
+    let doc = "Ask for service statistics instead of a verification." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let print_result = function
+    | Protocol.Result { cached; degraded; partial; outcome; _ } ->
+        Format.printf "%a@." Outcome.pp_summary outcome;
+        let tags =
+          List.concat
+            [
+              (if cached then [ "cached" ] else []);
+              (if degraded > 0 then
+                 [ Printf.sprintf "degraded(rung %d)" degraded ]
+               else []);
+              (if partial then [ "partial" ] else []);
+            ]
+        in
+        if tags <> [] then Printf.printf "  [%s]\n" (String.concat ", " tags)
+    | Protocol.Done { count; _ } -> Printf.printf "%d pair(s) verified\n" count
+    | Protocol.Overloaded { inflight; max_inflight; _ } ->
+        Printf.printf "overloaded: %d/%d queries in flight — retry later\n"
+          inflight max_inflight;
+        exit 3
+    | Protocol.Refused { reason; _ } ->
+        Printf.printf "refused: %s\n" reason;
+        exit 3
+    | Protocol.Failed { message; _ } ->
+        prerr_endline message;
+        exit 2
+    | Protocol.Stats_reply { stats; _ } ->
+        Printf.printf
+          "cache hits %d  misses %d  solver calls %d  pending %d  quota %s\n"
+          stats.Protocol.cache_hits stats.Protocol.cache_misses
+          stats.Protocol.solver_calls stats.Protocol.pending
+          (match stats.Protocol.quota_remaining with
+          | Some q -> string_of_int q
+          | None -> "unlimited")
+    | Protocol.Pong -> print_endline "pong"
+    | Protocol.Progress _ -> ()
+  in
+  let run socket dfa cond id deadline_ms fuel threshold stats =
+    match
+      let fd = Protocol.connect socket in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let req =
+            if stats then Protocol.Stats id
+            else
+              let opts = Protocol.{ deadline_ms; fuel; threshold } in
+              match cond with
+              | Some condition -> Protocol.Verify { id; dfa; condition; opts }
+              | None -> Protocol.Campaign { id; dfa; opts }
+          in
+          Protocol.call fd req
+            ~on_progress:(function
+              | Protocol.Progress { label; boxes; solver_calls; _ } ->
+                  Printf.eprintf "[%s] boxes %d solver calls %d\n%!" label
+                    boxes solver_calls
+              | _ -> ()))
+    with
+    | responses -> List.iter print_result responses
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "query: cannot reach %s: %s\n" socket
+          (Unix.error_message e);
+        exit 2
+    | exception Failure msg ->
+        prerr_endline msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Send one verification query to a running daemon")
+    Term.(
+      const run $ socket_arg $ dfa_arg $ condition_opt_arg $ id_arg
+      $ deadline_ms_arg $ fuel_opt_arg $ threshold_opt_arg $ stats_arg)
+
 let () =
   let info =
     Cmd.info "xcverifier" ~version:Xcverifier.version
@@ -765,5 +960,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; encode_cmd; verify_cmd; campaign_cmd; baseline_cmd;
-            compare_cmd; extra_cmd; replay_cmd;
+            compare_cmd; extra_cmd; replay_cmd; serve_cmd; query_cmd;
           ]))

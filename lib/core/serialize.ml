@@ -223,6 +223,99 @@ let append path outcomes =
         outcomes)
 
 (* ------------------------------------------------------------------ *)
+(* Crash-safe byte primitives — the substrate the verdict cache and the
+   service journal are built on. Both honour an optional I/O fault plan
+   (Fault.io_plan): every write consults the plan first, so torn entries,
+   full disks and interrupted writes are deterministically injectable. *)
+
+(* One logical write. EINTR faults re-roll (bounded); a short write lands a
+   prefix of the buffer and then raises — exactly the bytes a process
+   killed mid-write would leave behind. *)
+let faulted_write ?io_faults ~what fd bytes =
+  let len = String.length bytes in
+  let write_all () =
+    let rec go off =
+      if off < len then
+        let n =
+          try Unix.write_substring fd bytes off (len - off)
+          with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+        in
+        go (off + n)
+    in
+    go 0
+  in
+  match io_faults with
+  | None -> write_all ()
+  | Some plan ->
+      let key = Fault.key_of_string bytes in
+      let rec attempt k =
+        match Fault.io_decide plan ~attempt:k ~key with
+        | None -> write_all ()
+        | Some Fault.Eintr ->
+            (* interrupted before any byte landed; retry re-rolls the dice,
+               bounded so a rate-1.0 plan still terminates *)
+            if k >= 8 then raise (Fault.Io_injected (Fault.Eintr, what))
+            else attempt (k + 1)
+        | Some Fault.Enospc ->
+            raise (Fault.Io_injected (Fault.Enospc, what))
+        | Some Fault.Short_write ->
+            let torn = Stdlib.max 1 (len / 2) in
+            let rec go off =
+              if off < torn then
+                let n =
+                  try Unix.write_substring fd bytes off (torn - off)
+                  with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+                in
+                go (off + n)
+            in
+            go 0;
+            raise (Fault.Io_injected (Fault.Short_write, what))
+      in
+      attempt 0
+
+let append_line ?io_faults ?(fsync = false) path line =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      (* one write(2) for the whole line: O_APPEND positions atomically, so
+         concurrent writers interleave whole lines, never bytes *)
+      faulted_write ?io_faults ~what:path fd (line ^ "\n");
+      if fsync then Unix.fsync fd)
+
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dfd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close dfd)
+        (fun () -> try Unix.fsync dfd with Unix.Unix_error _ -> ())
+
+let write_file_atomic ?io_faults path content =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  (try
+     Fun.protect
+       ~finally:(fun () -> Unix.close fd)
+       (fun () ->
+         faulted_write ?io_faults ~what:tmp fd content;
+         Unix.fsync fd)
+   with e ->
+     (* destination untouched on any failure — that is the whole point *)
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Unix.rename tmp path;
+  (* make the rename itself durable *)
+  fsync_dir path
+
+let percent_encode = encode
+let percent_decode = decode
+
+(* ------------------------------------------------------------------ *)
 (* Digests — the identity of a campaign's configuration and formula set,
    carried in checkpoint headers so resume and shard merge can refuse
    checkpoints from a different run. FNV-style byte fold through the

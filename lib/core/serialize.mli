@@ -34,6 +34,39 @@ val load : string -> Outcome.t list
 (** [append path outcomes] appends, flushing per outcome. *)
 val append : string -> Outcome.t list -> unit
 
+(** {1 Crash-safe byte primitives}
+
+    The verdict cache and the service journal are built on two durable
+    write shapes: whole-line appends (one [write(2)] on an [O_APPEND]
+    descriptor, so concurrent writers interleave lines, never bytes) and
+    whole-file replacement (tmp file + [rename], so a reader never sees a
+    half-written file). Both consult an optional {!Fault.io_plan} before
+    touching the descriptor — torn entries, ENOSPC and EINTR are
+    deterministically injectable ([@raise Fault.Io_injected]). *)
+
+(** [append_line ?io_faults ?fsync path line] appends [line ^ "\n"] with a
+    single write; [fsync] (default false) syncs the descriptor afterwards —
+    the commit barrier of the verdict cache. An injected [Short_write]
+    leaves a torn prefix of the line behind, exactly as a kill mid-write
+    would; injected [Eintr]s are retried (bounded). *)
+val append_line :
+  ?io_faults:Fault.io_plan -> ?fsync:bool -> string -> string -> unit
+
+(** [write_file_atomic ?io_faults path content] replaces [path] atomically:
+    content goes to a pid-suffixed tmp file, is fsynced, renamed over
+    [path], and the directory is fsynced. On any failure (including
+    injected faults) the tmp file is removed and [path] is untouched. *)
+val write_file_atomic : ?io_faults:Fault.io_plan -> string -> string -> unit
+
+(** [percent_encode s] maps [s] onto a single safe s-expression atom
+    (alphanumerics and [_.-+/] kept, everything else [%xx]-escaped) —
+    the same encoding outcome labels use. [percent_decode] inverts it.
+    The service protocol uses the pair for free-form strings (error
+    messages, progress labels) inside its frames. *)
+val percent_encode : string -> string
+
+val percent_decode : string -> string
+
 (** {1 Digests and campaign headers}
 
     Checkpoints carry a header line identifying the run that wrote them:

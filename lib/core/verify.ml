@@ -151,8 +151,8 @@ let fresh_sink () =
     sk_retries = Atomic.make 0;
   }
 
-let run_custom_sharded ?(config = default_config) ?recorder ?shard ~dfa_label
-    ~condition_label ~domain ~(psi : Form.atom) () =
+let run_custom_sharded ?(config = default_config) ?recorder ?shard ?stop
+    ~dfa_label ~condition_label ~domain ~(psi : Form.atom) () =
   let negated = [ Form.negate_atom psi ] in
   (* Compile the negated formula once per (DFA, condition) pair — not per
      box — and hand the tape to every solver call through its config. The
@@ -202,10 +202,15 @@ let run_custom_sharded ?(config = default_config) ?recorder ?shard ~dfa_label
   let deadline =
     Option.map (fun s -> started +. s) config.deadline_seconds
   in
+  (* Cooperative cancellation: the worklist polls this before popping each
+     task, so a fired deadline — or an external stop hook (the service
+     daemon's per-query cancel flag) — drains the frontier gracefully into
+     a partial verdict map instead of aborting. *)
   let past_deadline () =
-    match deadline with
+    (match deadline with
     | Some d -> Unix.gettimeofday () > d
-    | None -> false
+    | None -> false)
+    || match stop with Some f -> f () | None -> false
   in
   let sink = fresh_sink () in
   let record path depth box step kind =
@@ -489,13 +494,14 @@ let run_custom_sharded ?(config = default_config) ?recorder ?shard ~dfa_label
     },
     List.map fst painted )
 
-let run_custom ?config ?recorder ~dfa_label ~condition_label ~domain ~psi () =
+let run_custom ?config ?recorder ?stop ~dfa_label ~condition_label ~domain
+    ~psi () =
   fst
-    (run_custom_sharded ?config ?recorder ~dfa_label ~condition_label ~domain
-       ~psi ())
+    (run_custom_sharded ?config ?recorder ?stop ~dfa_label ~condition_label
+       ~domain ~psi ())
 
-let run ?config ?recorder (p : Encoder.problem) =
-  run_custom ?config ?recorder ~dfa_label:p.Encoder.dfa.Registry.label
+let run ?config ?recorder ?stop (p : Encoder.problem) =
+  run_custom ?config ?recorder ?stop ~dfa_label:p.Encoder.dfa.Registry.label
     ~condition_label:(Conditions.name p.Encoder.condition)
     ~domain:p.Encoder.domain ~psi:p.Encoder.psi ()
 
@@ -652,9 +658,10 @@ let campaign ?(config = default_config) ?checkpoint ?resume dfas =
   Option.iter
     (fun path ->
       (* a checkpoint that survived a kill may end in a torn line; truncate
-         it before appending, or the resume loader would stop short of the
-         new entries *)
-      if resume = Some path then ignore (Serialize.repair_checkpoint path);
+         it before appending — unconditionally, not only when resuming from
+         the same path, or appends after the torn tail would be invisible
+         to every loader (they stop at the first malformed line) *)
+      ignore (Serialize.repair_checkpoint path);
       Serialize.ensure_header path header)
     checkpoint;
   List.map
@@ -700,7 +707,8 @@ let campaign_parallel ?(config = default_config) ?checkpoint ?resume ~workers
   in
   Option.iter
     (fun path ->
-      if resume = Some path then ignore (Serialize.repair_checkpoint path);
+      (* same torn-tail discipline as [campaign]: repair before appending *)
+      ignore (Serialize.repair_checkpoint path);
       Serialize.ensure_header path header)
     checkpoint;
   let fresh, reused =

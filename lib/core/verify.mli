@@ -83,17 +83,27 @@ val quick_config : config
 
 (** [run ~config problem] executes Algorithm 1 and returns the full outcome
     (paint log + aggregated {!Outcome.stats}). [recorder], when given,
-    collects the per-box {!Trace} events of the run. *)
-val run : ?config:config -> ?recorder:Trace.t -> Encoder.problem -> Outcome.t
+    collects the per-box {!Trace} events of the run. [stop], when given, is
+    polled alongside the deadline by every worker before popping a task —
+    cooperative cancellation: once it returns true the frontier drains
+    gracefully into timeout paint, yielding a {e partial} verdict map
+    instead of an error (the service daemon's cancel/deadline hook). It is
+    called from worker domains and must be thread-safe (e.g. an
+    [Atomic.t] read). *)
+val run :
+  ?config:config -> ?recorder:Trace.t -> ?stop:(unit -> bool) ->
+  Encoder.problem -> Outcome.t
 
 (** [run_custom ~dfa_label ~condition_label ~domain ~psi ()] runs
     Algorithm 1 on an arbitrary local condition [psi] (an [expr >= 0]-style
     atom) over an arbitrary box — the entry point for conditions outside the
     registry pipeline, e.g. spin-resolved slices or user-supplied
-    inequalities from the CLI. Labels are only used in the outcome record. *)
+    inequalities from the CLI. Labels are only used in the outcome record.
+    [stop] as in {!run}. *)
 val run_custom :
-  ?config:config -> ?recorder:Trace.t -> dfa_label:string ->
-  condition_label:string -> domain:Box.t -> psi:Form.atom -> unit -> Outcome.t
+  ?config:config -> ?recorder:Trace.t -> ?stop:(unit -> bool) ->
+  dfa_label:string -> condition_label:string -> domain:Box.t ->
+  psi:Form.atom -> unit -> Outcome.t
 
 (** [run_pair ~config dfa cond] encodes and runs; [None] if the condition
     does not apply. *)
@@ -127,8 +137,8 @@ type shard_spec = {
     needs to interleave shard logs back into pre-order. *)
 val run_custom_sharded :
   ?config:config -> ?recorder:Trace.t -> ?shard:shard_spec ->
-  dfa_label:string -> condition_label:string -> domain:Box.t ->
-  psi:Form.atom -> unit -> Outcome.t * int list list
+  ?stop:(unit -> bool) -> dfa_label:string -> condition_label:string ->
+  domain:Box.t -> psi:Form.atom -> unit -> Outcome.t * int list list
 
 (** [run_sharded ~shard problem] — {!run} for one shard; as
     {!run_custom_sharded} for an encoded problem. *)

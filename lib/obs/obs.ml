@@ -506,6 +506,16 @@ module Progress = struct
 
   let disable () = Atomic.set state None
 
+  (* Retag the active line without restarting the rate/ETA baseline: the
+     service daemon multiplexes many clients' queries through one progress
+     line and relabels it per query id, so interleaved stderr stays
+     attributable. Lost races with a concurrent disable are harmless (the
+     relabel is dropped). *)
+  let relabel label =
+    match Atomic.get state with
+    | None -> ()
+    | Some cfg -> Atomic.set state (Some { cfg with label })
+
   let emit cfg now =
     let boxes = Metrics.read c_boxes in
     let pairs = Metrics.read c_pairs in

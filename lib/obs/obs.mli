@@ -154,6 +154,13 @@ module Progress : sig
     total_pairs:int -> unit -> unit
 
   val disable : unit -> unit
+
+  (** [relabel l] swaps the label of the active line without resetting the
+      rate/ETA baseline — the service daemon retags the line with the query
+      id it is currently solving ("query 17"), so a multiplexed stderr
+      stream stays attributable per client query. No-op when disabled. *)
+  val relabel : string -> unit
+
   val tick : unit -> unit
 end
 

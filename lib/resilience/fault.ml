@@ -67,3 +67,75 @@ let decide plan ~attempt ~key =
   end
 
 let kind_name = function Raise -> "raise" | Nan -> "nan" | Timeout -> "timeout"
+
+(* ------------------------------------------------------------------ *)
+(* I/O fault injection — the same pure-decision discipline applied to the
+   byte layer (verdict cache commits, socket frame writes). Kept separate
+   from the solver plan so a campaign can run with solver faults only, I/O
+   faults only, or both, each under its own seed and rate. *)
+
+type io_kind = Short_write | Enospc | Eintr
+
+type io_plan = { io_seed : int64; io_rate : float; io_kinds : io_kind list }
+
+exception Io_injected of io_kind * string
+
+let default_io_kinds = [ Short_write; Enospc; Eintr ]
+
+let make_io ?(kinds = default_io_kinds) ~seed ~rate () =
+  {
+    io_seed = Int64.of_int seed;
+    io_rate = clamp_rate rate;
+    io_kinds = (if kinds = [] then default_io_kinds else kinds);
+  }
+
+let io_of_env () =
+  match Sys.getenv_opt "XCV_IO_FAULT_RATE" with
+  | None -> None
+  | Some s -> (
+      match float_of_string_opt s with
+      | None -> None
+      | Some r when r <= 0.0 -> None
+      | Some r ->
+          let seed =
+            match Sys.getenv_opt "XCV_IO_FAULT_SEED" with
+            | Some s -> (
+                match int_of_string_opt s with
+                | Some n -> n
+                | None -> default_seed)
+            | None -> default_seed
+          in
+          Some (make_io ~seed ~rate:r ()))
+
+(* Distinct stream constant from the solver plan's decide, so a shared seed
+   does not correlate solver and I/O faults. *)
+let io_decide plan ~attempt ~key =
+  if plan.io_rate <= 0.0 then None
+  else begin
+    let h =
+      mix
+        (Int64.logxor
+           (Int64.logxor plan.io_seed 0x10fa_17edL)
+           (mix (Int64.logxor key (mix (Int64.of_int attempt)))))
+    in
+    if unit_float h >= plan.io_rate then None
+    else
+      let n = List.length plan.io_kinds in
+      let i =
+        Int64.to_int
+          (Int64.rem (Int64.shift_right_logical (mix h) 1) (Int64.of_int n))
+      in
+      Some (List.nth plan.io_kinds i)
+  end
+
+let io_kind_name = function
+  | Short_write -> "short-write"
+  | Enospc -> "enospc"
+  | Eintr -> "eintr"
+
+let key_of_string s =
+  let h = ref 0x9e3779b97f4a7c15L in
+  String.iter
+    (fun c -> h := mix (Int64.logxor !h (Int64.of_int (Char.code c))))
+    s;
+  !h

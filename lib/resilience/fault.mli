@@ -56,3 +56,55 @@ val key_of : float list -> int64
 val decide : plan -> attempt:int -> key:int64 -> kind option
 
 val kind_name : kind -> string
+
+(** {1 I/O fault injection}
+
+    The same pure-decision discipline applied to the byte layer: the verdict
+    cache's commit writes and the service protocol's frame writes consult an
+    {!io_plan} before touching the file descriptor, so torn cache entries,
+    full disks and interrupted writes are injectable deterministically —
+    which is what lets the [@service] gate demand that a cache survives a
+    kill mid-commit at any seed. A separate plan type (not {!plan}) so
+    solver faults and I/O faults are independently seeded and rated.
+
+    Environment hook: [XCV_IO_FAULT_RATE] / [XCV_IO_FAULT_SEED], mirroring
+    the solver-fault hook. *)
+
+type io_kind =
+  | Short_write
+      (** only a prefix of the buffer reaches the file before the writer
+          dies — the torn-entry case recovery must absorb *)
+  | Enospc  (** the write fails cleanly with ENOSPC; nothing is written *)
+  | Eintr
+      (** the write is interrupted before any byte lands; a retry (which
+          re-rolls the decision) is expected to succeed *)
+
+type io_plan = {
+  io_seed : int64;
+  io_rate : float;  (** per-write fault probability, clamped to [0, 1] *)
+  io_kinds : io_kind list;  (** non-empty *)
+}
+
+(** Raised by a faulted I/O operation, carrying the kind and a description
+    of the operation (for [Enospc] and unrecovered [Short_write]s). *)
+exception Io_injected of io_kind * string
+
+val default_io_kinds : io_kind list
+
+val make_io : ?kinds:io_kind list -> seed:int -> rate:float -> unit -> io_plan
+
+(** The [XCV_IO_FAULT_RATE] / [XCV_IO_FAULT_SEED] hook; [None] when the
+    rate is unset, unparsable, or not positive. *)
+val io_of_env : unit -> io_plan option
+
+(** [io_decide plan ~attempt ~key] — [Some kind] if this (write, attempt) is
+    to be faulted. Pure, and decorrelated from {!decide} under a shared
+    seed. Including [attempt] means retries of an [Eintr]-faulted write
+    re-roll the dice. *)
+val io_decide : io_plan -> attempt:int -> key:int64 -> io_kind option
+
+val io_kind_name : io_kind -> string
+
+(** [key_of_string s] folds bytes (e.g. the serialized cache entry about to
+    be committed) into a stable 64-bit identity. *)
+val key_of_string : string -> int64

@@ -25,6 +25,22 @@ let status_to_string = function
   | Unix.WSIGNALED n -> Printf.sprintf "killed by signal %d" n
   | Unix.WSTOPPED n -> Printf.sprintf "stopped by signal %d" n
 
+exception Gave_up_on of int
+
+(* Drain every terminated child without blocking: the supervisor must not
+   leave zombies behind on the abort path (exiting-0 stragglers and
+   grandchildren reparented our way would otherwise linger until the whole
+   process exits). ECHILD means the table is clean. *)
+let reap_stragglers () =
+  let rec go () =
+    match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+    | 0, _ -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
 let supervise ~count ?(max_restarts = 3) ?(on_event = fun (_ : event) -> ())
     ~spawn () =
   if count <= 0 then invalid_arg "Shard_supervisor.supervise: count <= 0";
@@ -37,14 +53,21 @@ let supervise ~count ?(max_restarts = 3) ?(on_event = fun (_ : event) -> ())
     on_event (Started { shard; pid; restart = restarts.(shard) });
     pid
   in
+  let rec waitpid_retry pid =
+    match Unix.waitpid [] pid with
+    | r -> r
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+  in
   let kill_all () =
     Hashtbl.iter
       (fun pid _ -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
       of_pid;
     Hashtbl.iter
-      (fun pid _ -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      (fun pid _ ->
+        try ignore (waitpid_retry pid) with Unix.Unix_error _ -> ())
       of_pid;
-    Hashtbl.reset of_pid
+    Hashtbl.reset of_pid;
+    reap_stragglers ()
   in
   try
     for shard = 0 to count - 1 do
@@ -52,32 +75,36 @@ let supervise ~count ?(max_restarts = 3) ?(on_event = fun (_ : event) -> ())
     done;
     let live = ref count in
     while !live > 0 do
-      let pid, status = Unix.wait () in
-      match Hashtbl.find_opt of_pid pid with
-      | None -> () (* not ours — e.g. a grandchild reparented our way *)
-      | Some shard -> (
-          Hashtbl.remove of_pid pid;
-          match status with
-          | Unix.WEXITED 0 -> decr live
-          | status ->
-              on_event (Died { shard; pid; status });
-              if restarts.(shard) >= max_restarts then (
-                on_event (Gave_up { shard });
-                kill_all ();
-                raise Exit)
-              else (
-                restarts.(shard) <- restarts.(shard) + 1;
-                on_event (Restarting { shard; restart = restarts.(shard) });
-                ignore (launch ~shard ~resume:true)))
+      match Unix.wait () with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | pid, status -> (
+          match Hashtbl.find_opt of_pid pid with
+          | None -> () (* not ours — e.g. a grandchild reparented our way;
+                          already reaped by the wait itself *)
+          | Some shard -> (
+              Hashtbl.remove of_pid pid;
+              match status with
+              | Unix.WEXITED 0 -> decr live
+              | status ->
+                  on_event (Died { shard; pid; status });
+                  if restarts.(shard) >= max_restarts then (
+                    on_event (Gave_up { shard });
+                    kill_all ();
+                    raise (Gave_up_on shard))
+                  else (
+                    restarts.(shard) <- restarts.(shard) + 1;
+                    on_event (Restarting { shard; restart = restarts.(shard) });
+                    ignore (launch ~shard ~resume:true))))
     done;
+    reap_stragglers ();
     Ok (Array.fold_left ( + ) 0 restarts)
   with
-  | Exit ->
+  | Gave_up_on shard ->
       Error
         (Printf.sprintf
-           "a shard died %d times in a row — giving up (see the per-shard \
-            checkpoint for the completed prefix)"
-           (max_restarts + 1))
+           "shard %d died %d times in a row — giving up (see its checkpoint \
+            for the completed prefix); remaining shards were terminated"
+           shard (max_restarts + 1))
   | e ->
       kill_all ();
       raise e

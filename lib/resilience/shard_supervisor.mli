@@ -26,8 +26,12 @@ val status_to_string : Unix.process_status -> string
     incomplete shard would only fail later at merge time.
 
     Returns [Ok total_restarts] once every shard has exited 0, or
-    [Error msg] on give-up. [spawn] must return the pid of a direct child
-    (the supervisor reaps with [Unix.wait]). *)
+    [Error msg] on give-up — the message names the shard that exhausted its
+    budget, so the operator knows which checkpoint to inspect. [spawn] must
+    return the pid of a direct child (the supervisor reaps with
+    [Unix.wait]); on both exits the supervisor drains every remaining
+    zombie ([WNOHANG] sweep), so a caller never inherits unreaped
+    children. *)
 val supervise :
   count:int ->
   ?max_restarts:int ->

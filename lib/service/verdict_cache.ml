@@ -1,0 +1,181 @@
+(* One checkpoint-format file per (config_hash, formula_hash) key group;
+   atomic creation, fsynced O_APPEND commits, repair-on-open. *)
+
+let m_hits = Obs.Metrics.counter "service.cache.hits"
+let m_subbox = Obs.Metrics.counter "service.cache.subbox_hits"
+let m_misses = Obs.Metrics.counter "service.cache.misses"
+let m_commits = Obs.Metrics.counter ~clas:Obs.Metrics.Wall "service.cache.commits"
+let m_repairs = Obs.Metrics.counter ~clas:Obs.Metrics.Wall "service.cache.repairs"
+
+type group = {
+  g_file : string;
+  g_header : Serialize.header;
+  (* oldest first; lookups scan in file order so the choice of subsuming
+     entry is stable across restarts *)
+  mutable g_entries : Outcome.t list;
+  mutable g_exists : bool;
+}
+
+type t = {
+  dir : string;
+  io_faults : Fault.io_plan option;
+  groups : (string, group) Hashtbl.t;  (* keyed by group digest *)
+  mutable commits : int;
+}
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    end
+  in
+  go dir
+
+let open_dir ?io_faults dir =
+  mkdir_p dir;
+  { dir; io_faults; groups = Hashtbl.create 16; commits = 0 }
+
+let dir t = t.dir
+let commits t = t.commits
+let refresh t = Hashtbl.reset t.groups
+
+let group_key ~config_hash ~formula_hash =
+  Serialize.digest (config_hash ^ ":" ^ formula_hash)
+
+let group_file t ~config_hash ~formula_hash =
+  Filename.concat t.dir
+    (Printf.sprintf "group-%s.ckpt" (group_key ~config_hash ~formula_hash))
+
+(* Load (or reload) a group from disk, repairing a torn tail first so
+   subsequent appends are visible to every loader. *)
+let load_group t ~config_hash ~formula_hash =
+  let key = group_key ~config_hash ~formula_hash in
+  match Hashtbl.find_opt t.groups key with
+  | Some g -> g
+  | None ->
+      let file = group_file t ~config_hash ~formula_hash in
+      let header = Serialize.{ config_hash; formula_hash; shard = None } in
+      let exists = Sys.file_exists file in
+      let entries =
+        if not exists then []
+        else begin
+          let cp = Serialize.repair_checkpoint file in
+          if cp.Serialize.truncated then Obs.Metrics.incr m_repairs 1;
+          (match cp.Serialize.cp_header with
+          | Some h -> Serialize.check_header ~path:file ~expect:header h
+          | None ->
+              failwith
+                (Printf.sprintf "cache file %s has no header — not a cache \
+                                 group file" file));
+          List.map (fun e -> e.Serialize.outcome) cp.Serialize.entries
+        end
+      in
+      let g = { g_file = file; g_header = header; g_entries = entries;
+                g_exists = exists }
+      in
+      Hashtbl.replace t.groups key g;
+      g
+
+(* Atomic create-if-absent: write the header to a tmp file, then [link] it
+   into place. Unlike rename, link fails with EEXIST instead of replacing,
+   so a concurrent creator's already-appended entries can never be lost. *)
+let ensure_file g =
+  if not g.g_exists then begin
+    if not (Sys.file_exists g.g_file) then begin
+      let tmp =
+        Printf.sprintf "%s.tmp.%d" g.g_file (Unix.getpid ())
+      in
+      let oc = open_out tmp in
+      output_string oc (Serialize.header_to_string g.g_header ^ "\n");
+      flush oc;
+      (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
+      close_out oc;
+      (try Unix.link tmp g.g_file
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      (try Sys.remove tmp with Sys_error _ -> ())
+    end;
+    g.g_exists <- true
+  end
+
+let entries t ~config_hash ~formula_hash =
+  (load_group t ~config_hash ~formula_hash).g_entries
+
+let box_contains ~outer ~inner =
+  Box.vars outer = Box.vars inner
+  && List.for_all
+       (fun v ->
+         let o = Box.get outer v and i = Box.get inner v in
+         Interval.inf o <= Interval.inf i && Interval.sup i <= Interval.sup o)
+       (Box.vars outer)
+
+type hit = Exact of Outcome.t | Subsumed of Outcome.t
+
+(* A query box inside a cached Verified region is verified: synthesize a
+   one-region outcome over the query box. Deterministic given the file
+   (oldest subsuming entry wins), so restarts serve identical bytes. *)
+let synthesize ~src ~box =
+  Outcome.
+    {
+      dfa = src.dfa;
+      condition = src.condition;
+      domain = box;
+      regions = [ { box; status = Verified; depth = 0 } ];
+      stats = zero_stats;
+    }
+
+let find t ~config_hash ~formula_hash ~box =
+  let g = load_group t ~config_hash ~formula_hash in
+  let exact =
+    List.find_opt (fun o -> Box.equal o.Outcome.domain box) g.g_entries
+  in
+  match exact with
+  | Some o ->
+      Obs.Metrics.incr m_hits 1;
+      Some (Exact o)
+  | None -> (
+      let subsuming =
+        List.find_opt
+          (fun o ->
+            List.exists
+              (fun r ->
+                r.Outcome.status = Outcome.Verified
+                && box_contains ~outer:r.Outcome.box ~inner:box)
+              o.Outcome.regions)
+          g.g_entries
+      in
+      match subsuming with
+      | Some src ->
+          Obs.Metrics.incr m_subbox 1;
+          Some (Subsumed (synthesize ~src ~box))
+      | None ->
+          Obs.Metrics.incr m_misses 1;
+          None)
+
+let put t ~config_hash ~formula_hash outcome =
+  let key = group_key ~config_hash ~formula_hash in
+  let g = load_group t ~config_hash ~formula_hash in
+  if
+    List.exists
+      (fun o -> Box.equal o.Outcome.domain outcome.Outcome.domain)
+      g.g_entries
+  then () (* first commit wins; a duplicate would shadow nothing *)
+  else begin
+    ensure_file g;
+    let line =
+      Serialize.entry_to_string
+        Serialize.{ outcome; paths = None; metrics_json = None }
+    in
+    match
+      Serialize.append_line ?io_faults:t.io_faults ~fsync:true g.g_file line
+    with
+    | () ->
+        g.g_entries <- g.g_entries @ [ outcome ];
+        t.commits <- t.commits + 1;
+        Obs.Metrics.incr m_commits 1
+    | exception e ->
+        (* the on-disk tail may be torn: drop the in-memory view so the
+           next access re-reads and repairs the file *)
+        Hashtbl.remove t.groups key;
+        raise e
+  end

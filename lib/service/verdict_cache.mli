@@ -1,0 +1,72 @@
+(** Persistent content-addressed verdict cache.
+
+    A verdict is immutable knowledge: once the solver has proved (or
+    refuted) a condition over a box under a given configuration, the answer
+    never changes. The cache keys each outcome by
+    [config_hash x formula_hash] — the same two digests campaign
+    checkpoint headers carry — and stores one checkpoint-format file per
+    key group under the cache directory, so every existing loader
+    ({!Serialize.read_checkpoint}, the [inspect] tooling) reads cache files
+    unmodified.
+
+    {b Crash safety.} Group files are created atomically (tmp file +
+    [link(2)], which never overwrites a concurrent creator's entries) and
+    extended with single-[write(2)] [O_APPEND] appends fsynced on commit
+    ({!Serialize.append_line}) — concurrent daemon processes sharing a
+    cache directory interleave whole lines, never bytes. Every open repairs
+    a torn tail first ({!Serialize.repair_checkpoint}), so a SIGKILL or an
+    injected I/O fault mid-commit costs at most the entry being written.
+
+    {b Sub-box reuse.} A box proved [Verified] is verified forever for the
+    same key: a lookup whose query box is contained in a cached verified
+    region synthesizes the verdict without a solver call. *)
+
+type t
+
+(** What a lookup found. *)
+type hit =
+  | Exact of Outcome.t
+      (** a cached outcome whose domain equals the query box *)
+  | Subsumed of Outcome.t
+      (** no exact entry, but the query box lies inside a cached
+          [Verified] region of the same key — the returned outcome is
+          synthesized (single verified region over the query box, zero
+          stats) deterministically from the oldest subsuming entry, so a
+          restarted daemon serves byte-identical verdicts *)
+
+(** [open_dir ?io_faults dir] opens (creating if needed) a cache rooted at
+    [dir]. Group files are loaded lazily, each repaired on first touch.
+    [io_faults], when given, is consulted by every subsequent write. *)
+val open_dir : ?io_faults:Fault.io_plan -> string -> t
+
+val dir : t -> string
+
+(** The group file backing a key (whether or not it exists yet):
+    [dir/group-<digest(config_hash : formula_hash)>.ckpt]. *)
+val group_file : t -> config_hash:string -> formula_hash:string -> string
+
+(** [find t ~config_hash ~formula_hash ~box] — cached verdict for [box]
+    under the key, if any. Bumps the [service.cache.hits] /
+    [service.cache.subbox_hits] / [service.cache.misses] counters. *)
+val find :
+  t -> config_hash:string -> formula_hash:string -> box:Box.t -> hit option
+
+(** [put t ~config_hash ~formula_hash outcome] commits one verdict:
+    ensures the group file exists (with a matching header), appends the
+    entry with a single fsynced write, then updates the in-memory view.
+    Duplicate domains are skipped (first commit wins — what makes
+    concurrent writers converge). On an injected I/O fault the in-memory
+    group is invalidated so the next access re-reads (and repairs) the
+    file, and the exception propagates. *)
+val put : t -> config_hash:string -> formula_hash:string -> Outcome.t -> unit
+
+(** All cached outcomes for a key, oldest first (file order). *)
+val entries : t -> config_hash:string -> formula_hash:string -> Outcome.t list
+
+(** Successful commits made through this handle (the daemon's
+    [XCV_SERVE_KILL_AFTER] hook counts these). *)
+val commits : t -> int
+
+(** Drop the in-memory view of every group (next access re-reads from
+    disk) — lets tests observe another process's appends. *)
+val refresh : t -> unit

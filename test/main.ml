@@ -34,4 +34,5 @@ let () =
       ("mutate", Test_mutate.suite);
       ("obs", Test_obs.suite);
       ("codegen", Test_codegen.suite);
+      ("service", Test_service.suite);
     ]
