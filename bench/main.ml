@@ -969,6 +969,124 @@ let service_bench () =
   record_metric "cache_hit_rate" hit_rate;
   rm_rf dir
 
+(* ------------------------------------------------------------------ *)
+(* Certified transcendental kernels                                    *)
+(* ------------------------------------------------------------------ *)
+
+let transcend_fuel = getenv_int "XCV_BENCH_TRANSCEND_FUEL" 400
+
+(* Enclosure-width and expansions-per-solve deltas between the legacy
+   transcendental escapes (2^20 trig collapse, Lambert-W +inf
+   certification escape, blanket 2-ulp outward rounding) and the
+   certified dd kernels that replaced them. Part one measures raw
+   enclosure widths at the escape points; part two replays identical
+   ICP solves under [`Legacy] and [`Certified] dispatch and compares
+   the fuel spent. *)
+let transcend_bench () =
+  section "Certified transcendental kernels: enclosure widths";
+  let with_mode mode f =
+    let prev = Transcend.current_mode () in
+    Transcend.set_mode mode;
+    Fun.protect ~finally:(fun () -> Transcend.set_mode prev) f
+  in
+  let ulps_of i x = Interval.width i /. (Float.succ x -. x) in
+  let width_row label legacy certified =
+    Printf.printf "%-26s legacy %-14g certified %-14g ratio %g\n" label
+      legacy certified
+      (if certified > 0.0 then legacy /. certified else Float.infinity);
+    record_metric (label ^ "_legacy") legacy;
+    record_metric (label ^ "_certified") certified;
+    if certified > 0.0 && Float.is_finite legacy then
+      record_metric (label ^ "_ratio") (legacy /. certified)
+  in
+  (* sin beyond the retired 2^20 cutoff: legacy collapses to [-1, 1]. *)
+  let big = Float.ldexp 1.0 21 in
+  let sin_arg = Interval.make big (big +. 0.125) in
+  width_row "width.sin_beyond_cutoff"
+    (Interval.width (Transcend.Legacy.sin sin_arg))
+    (Interval.width (Transcend.sin sin_arg));
+  let big_c = 3.0 *. Float.ldexp 1.0 20 in
+  let cos_arg = Interval.make big_c (big_c +. 0.125) in
+  width_row "width.cos_beyond_cutoff"
+    (Interval.width (Transcend.Legacy.cos cos_arg))
+    (Interval.width (Transcend.cos cos_arg));
+  (* Lambert W hugging the -1/e branch point: a no-regression guard.
+     The repair of the legacy +inf escape only fires on platforms where
+     the float kernel NaNs at the branch; everywhere the certified
+     enclosure must be no wider than the legacy one (ratio >= 1). *)
+  let branch = -.exp (-1.0) in
+  let w_arg = Interval.make branch (branch +. 1e-10) in
+  width_row "width.w_branch_point"
+    (Interval.width (Transcend.Legacy.lambert_w w_arg))
+    (Interval.width (Transcend.lambert_w w_arg));
+  (* Point enclosures, in ulps of the true result: the legacy blanket
+     outward rounding is 4 ulps; the dd kernels carry derived bounds. *)
+  let e1 = exp 1.0 in
+  width_row "width.exp_point_ulps"
+    (ulps_of (Transcend.Legacy.exp (Interval.point 1.0)) e1)
+    (ulps_of (Transcend.exp (Interval.point 1.0)) e1);
+  let l2 = log 2.0 in
+  width_row "width.log_point_ulps"
+    (ulps_of (Transcend.Legacy.log (Interval.point 2.0)) l2)
+    (ulps_of (Transcend.log (Interval.point 2.0)) l2);
+  (* Legacy pow rounds the exponent to a float and is 1 ulp narrower
+     here, but it encloses x^fl(2/3), not x^(2/3); the certified row is
+     the sound one and stays ulp-scale. *)
+  let cbrt4 = Float.cbrt 4.0 in
+  width_row "width.pow_2_3_point_ulps"
+    (ulps_of
+       (Transcend.Legacy.pow_rat (Interval.point 2.0) (Rat.make 2 3))
+       cbrt4)
+    (ulps_of (Transcend.pow_rat (Interval.point 2.0) (Rat.make 2 3)) cbrt4);
+  print_newline ();
+
+  section "Expansions per solve: legacy escapes vs certified kernels";
+  let cfg = { Icp.default_config with fuel = transcend_fuel; delta = 1e-9 } in
+  let solve_row ?(cfg = cfg) label domain formula =
+    let run mode = with_mode mode (fun () -> Icp.solve cfg domain formula) in
+    let v_l, s_l = run `Legacy in
+    let v_c, s_c = run `Certified in
+    Format.printf
+      "%-20s legacy %a (%d expansions)  certified %a (%d expansions)@." label
+      Icp.pp_verdict v_l s_l.Icp.expansions Icp.pp_verdict v_c
+      s_c.Icp.expansions;
+    record_metric
+      (label ^ "_expansions_legacy")
+      (float_of_int s_l.Icp.expansions);
+    record_metric
+      (label ^ "_expansions_certified")
+      (float_of_int s_c.Icp.expansions)
+  in
+  (* Paper Table I rows: identical encodings, mode flipped around the
+     solve. exp/log kernels only engage on narrow boxes, so these rows
+     mostly certify no regression. *)
+  List.iter
+    (fun (dfa, cond, label) ->
+      let problem = Option.get (Encoder.encode (Registry.find dfa) cond) in
+      solve_row label problem.Encoder.domain problem.Encoder.negated)
+    [
+      ("pbe", Conditions.Ec1, "pbe_ec1");
+      ("lyp", Conditions.Ec1, "lyp_ec1");
+      ("scan", Conditions.Ec1, "scan_ec1");
+    ];
+  (* Escape rows: pointwise-trivial conditions the legacy escapes can
+     never refute, so the legacy solver burns fuel splitting an
+     enclosure that no split can narrow. *)
+  let x = Expr.var "x" in
+  let refute atom = [ Form.negate_atom atom ] in
+  solve_row "sin_escape"
+    (Box.make [ ("x", sin_arg) ])
+    (refute (Form.le (Expr.sub (Expr.sin x) (Expr.const 0.9))));
+  solve_row "cos_escape"
+    (Box.make [ ("x", cos_arg) ])
+    (refute (Form.le (Expr.sub (Expr.cos x) (Expr.const 0.9))));
+  (* No-regression row: the W box hugs the branch point (delta finer
+     than the box so the solver would be forced to split if the
+     enclosure escaped); certified must not spend more fuel. *)
+  solve_row ~cfg:{ cfg with delta = 1e-13 } "w_branch"
+    (Box.make [ ("x", w_arg) ])
+    (refute (Form.le (Expr.lambert_w x)))
+
 let () =
   let targets =
     [
@@ -976,7 +1094,7 @@ let () =
       ("boundaries", boundaries); ("ablation", ablation);
       ("taylor", ablation_taylor); ("extensions", extensions);
       ("scheduler", scheduler); ("micro", micro); ("hc4", hc4_bench);
-      ("service", service_bench);
+      ("service", service_bench); ("transcend", transcend_bench);
     ]
   in
   let args = Array.to_list Sys.argv |> List.tl in

@@ -59,6 +59,8 @@ let is_zero r = r.num = 0
 let is_one r = r.num = 1 && r.den = 1
 let is_int r = r.den = 1
 let to_int r = if r.den = 1 then Some r.num else None
+let num r = r.num
+let den r = r.den
 let to_float r = float_of_int r.num /. float_of_int r.den
 
 let of_float f =

@@ -48,6 +48,12 @@ val is_int : t -> bool
 (** [to_int r] is the numerator when {!is_int} holds. *)
 val to_int : t -> int option
 
+(** Reduced components: [den] is always positive and both are kept below
+    [2^53] in magnitude, so [float_of_int] on either is exact. *)
+val num : t -> int
+
+val den : t -> int
+
 val to_float : t -> float
 
 (** [of_float f] is the exact rational value of [f] when it has a small

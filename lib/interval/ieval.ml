@@ -13,6 +13,18 @@ let apply_unop op i =
   | Abs -> Interval.abs i
   | Lambert_w -> Transcend.lambert_w i
 
+(* Shared forward rule for Pow nodes: an exact rational exponent goes
+   through {!Transcend.pow_rat} (integer rationals delegate to pow_int
+   bit-identically; non-integer ones account for the exponent's own
+   rounding, which the float corner analysis silently drops); float or
+   variable exponents keep the pow_expr corner analysis. Used by the
+   tree walker, the HC4 tree revise and the compiled tape, so the three
+   paths cannot drift. *)
+let pow_node rat base expo =
+  match rat with
+  | Some r -> Transcend.pow_rat base r
+  | None -> Interval.pow_expr base expo
+
 let guard_status_of_interval rel gi =
   if Interval.is_empty gi then `False
   else
@@ -44,7 +56,7 @@ let eval env e =
             List.fold_left
               (fun acc f -> Interval.mul acc (self f))
               Interval.one factors
-        | Pow (b, x) -> Interval.pow_expr (self b) (self x)
+        | Pow (b, x) -> pow_node (as_rat x) (self b) (self x)
         | Apply (op, a) -> apply_unop op (self a)
         | Piecewise (branches, default) ->
             (* Accumulate the hull of every branch that may be active; stop

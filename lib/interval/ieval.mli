@@ -27,3 +27,11 @@ val guard_status_of_interval :
 (** [apply_unop op i] is the interval image of primitive [op] (dispatch into
     {!Interval} / {!Transcend}). *)
 val apply_unop : Expr.unop -> Interval.t -> Interval.t
+
+(** [pow_node rat base expo] is the forward rule for [Pow] nodes, shared
+    by the tree walker, {!Hc4.revise} and the compiled tape: when the
+    exponent is the exact rational [rat] it dispatches to
+    {!Transcend.pow_rat} (bit-identical to [pow_int] for integers,
+    exponent-rounding-aware otherwise); with [None] it falls back to the
+    {!Interval.pow_expr} corner analysis on [expo]. *)
+val pow_node : Rat.t option -> Interval.t -> Interval.t -> Interval.t

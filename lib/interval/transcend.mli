@@ -4,9 +4,40 @@
 
     Monotone functions are enclosed by evaluating libm at the endpoints and
     widening by two ulps (libm is faithfully rounded to within 1 ulp on every
-    platform we target; the second ulp is margin). sin/cos use quadrant
-    analysis. Every function follows the natural-domain semantics of
-    {!Interval}: inputs outside the real domain contribute no values. *)
+    platform we target; the second ulp is margin); on narrow inputs the
+    result is met with the dd kernel of {!Certified}, which carries a
+    derived error bound instead of the blanket margin. sin/cos use quadrant
+    analysis on a certified-reduced argument, valid up to 2^52 — the old
+    2^20 collapse to [[-1, 1]] is gone. Every function follows the
+    natural-domain semantics of {!Interval}: inputs outside the real domain
+    contribute no values. *)
+
+(** {1 Dispatch mode} *)
+
+(** [`Certified] (the default) uses the dd kernels where they help;
+    [`Legacy] restores the pre-kernel behavior byte-for-byte. The bench
+    harness flips this to measure enclosure-width and expansion deltas. *)
+val set_mode : [ `Certified | `Legacy ] -> unit
+
+val current_mode : unit -> [ `Certified | `Legacy ]
+
+(** The pre-certified-kernel implementations, kept verbatim as the "old"
+    side of the differential oracle and the bench baseline (lossy escapes
+    included: the 2^20 trig cutoff lives on here as
+    [Legacy.trig_arg_cutoff]). *)
+module Legacy : sig
+  val exp : Interval.t -> Interval.t
+  val log : Interval.t -> Interval.t
+  val sin : Interval.t -> Interval.t
+  val cos : Interval.t -> Interval.t
+  val trig_arg_cutoff : float
+  val lambert_w : Interval.t -> Interval.t
+  val atanh : Interval.t -> Interval.t
+  val w_inverse : Interval.t -> Interval.t
+  val pow_rat : Interval.t -> Rat.t -> Interval.t
+end
+
+(** {1 Enclosures} *)
 
 val exp : Interval.t -> Interval.t
 val log : Interval.t -> Interval.t
@@ -22,15 +53,12 @@ val half_pi_lo : float
 
 val pi_lo : float
 
-(** Above this argument magnitude (2^20) {!sin} and {!cos} give up on
-    quadrant analysis and return [[-1, 1]]: the critical-point containment
-    test reconstructs [k*2pi] with error proportional to the argument, which
-    would otherwise exceed its slack and silently drop interior extrema. *)
-val trig_arg_cutoff : float
-
 (** Principal branch [W0]; domain [[-1/e, inf)]. The numeric kernel
     {!Lambert.w0} is certified post-hoc: the returned bounds are widened
-    until the defining residual [w e^w - x] brackets zero. *)
+    (mixed absolute+relative stride, doubling) until the defining residual
+    [w e^w - x] brackets zero; a failed certification is repaired by the
+    certified kernel ({!Certified.w_lo} / {!Certified.w_hi}) instead of
+    escaping to [-1] / [+inf]. *)
 val lambert_w : Interval.t -> Interval.t
 
 (** The NaN-robust bound policy of {!lambert_w}, exposed for tests: a NaN
@@ -39,9 +67,26 @@ val lambert_w : Interval.t -> Interval.t
     (empty) interval from a failed kernel evaluation. *)
 val certified_w_bounds : lo:float -> hi:float -> Interval.t
 
+(** [pow_rat i r]: enclosure of [x^r] for the exact rational [r]. Integer
+    rationals delegate to {!Interval.pow_int} (bit-identical to the
+    integer-exponent path); non-integer rationals account for the rounding
+    of [r] to a float — which [Interval.pow i (Rat.to_float r)] silently
+    drops — and go through the certified exp/log kernel when [i] is
+    narrow. Nonnegative-base semantics, as {!Interval.pow}. *)
+val pow_rat : Interval.t -> Rat.t -> Interval.t
+
+(** [enclose_rat r]: tight interval enclosure of the exact rational [r]
+    (one outward-rounded division of the exact components). For
+    derivative rules that must account for the rounding of a rational
+    constant. *)
+val enclose_rat : Rat.t -> Interval.t
+
 (** {1 Inverses for backward (HC4) propagation} *)
 
-(** [atanh i]: inverse of {!tanh}, domain [(-1, 1)]. *)
+(** [atanh i]: inverse of {!tanh}, domain [(-1, 1)]. Evaluated as an
+    interval composition (per-operation outward rounding), so the
+    enclosure covers the composite's true rounding budget — it may be
+    slightly {e wider} than the old under-covering two-ulp widening. *)
 val atanh : Interval.t -> Interval.t
 
 (** [tan_on_principal i]: inverse of {!atan}; [i] is clipped to
@@ -50,7 +95,7 @@ val tan_on_principal : Interval.t -> Interval.t
 
 (** [w_inverse i] is [{ w e^w | w in i }], the inverse image map for
     Lambert W backward propagation (monotone on [w >= -1], which covers the
-    range of [W0]). *)
+    range of [W0]). Interval composition, like {!atanh}. *)
 val w_inverse : Interval.t -> Interval.t
 
 (** [asin_hull i]: hull of the preimage of [i] under sin restricted to

@@ -10,6 +10,7 @@ let counters () = { revise_calls = 0; sweeps = 0 }
    shared with the compiled-tape replay so the two paths cannot drift. *)
 let target_of_relation = Itape.target_of_relation
 let backward_pow_const = Itape.backward_pow_const
+let backward_pow_rat = Itape.backward_pow_rat
 let backward_abs = Itape.backward_abs
 
 (* Prefix/suffix folds used to compute, for every operand of an n-ary node,
@@ -54,7 +55,7 @@ let revise box atom =
               List.fold_left
                 (fun acc f -> Interval.mul acc (forward f))
                 Interval.one factors
-          | Pow (b, x) -> Interval.pow_expr (forward b) (forward x)
+          | Pow (b, x) -> Ieval.pow_node (as_rat x) (forward b) (forward x)
           | Apply (op, a) -> Ieval.apply_unop op (forward a)
           | Piecewise (branches, default) ->
               let rec walk acc = function
@@ -132,9 +133,10 @@ let revise box atom =
                 else tighten t (Interval.div_rel r rest))
               factors rest_prods
         | Pow (b, x) -> (
-            match as_const x with
-            | Some p -> tighten_branches b (backward_pow_const r p)
-            | None ->
+            match (as_rat x, as_const x) with
+            | Some rat, _ -> tighten_branches b (backward_pow_rat r rat)
+            | None, Some p -> tighten_branches b (backward_pow_const r p)
+            | None, None ->
                 (* Variable exponent: contract the exponent when the base is
                    certainly > 1 or in (0, 1): y = log r / log b. *)
                 let fb = Hashtbl.find fwd b.id in

@@ -11,7 +11,15 @@ type instr =
   | Ivar of int  (* box dimension *)
   | Iadd of int array
   | Imul of int array
-  | Ipow of { base : int; expo : int; const_expo : float option }
+  | Ipow of {
+      base : int;
+      expo : int;
+      const_expo : float option;
+      const_rat : Rat.t option;
+          (* exact rational exponent, when the expression carries one: the
+             forward rule and the backward inverse then account for the
+             rounding of the exponent instead of silently using fl(r) *)
+    }
   | Iunop of Expr.unop * int
   | Iselect of { branches : (int * Expr.rel * int) array; default : int }
 
@@ -59,6 +67,14 @@ let backward_pow_const r p =
     (* Non-integer exponent: base is >= 0 by domain semantics. *)
     [ Interval.pow (Interval.meet r Interval.nonneg) (1.0 /. p) ]
 
+(* Exact-rational exponent: integers reuse the branch inverse verbatim;
+   non-integers invert through [pow_rat] with the exact reciprocal, so
+   the inverse carries the exponent's rounding the float path drops. *)
+let backward_pow_rat r rat =
+  match Rat.to_int rat with
+  | Some n -> backward_pow_int r n
+  | None -> [ Transcend.pow_rat (Interval.meet r Interval.nonneg) (Rat.inv rat) ]
+
 let backward_abs r =
   let r' = Interval.meet r Interval.nonneg in
   if Interval.is_empty r' then [ Interval.empty ]
@@ -105,7 +121,14 @@ let compile ~vars (atom : Form.atom) =
                nodes in the tree walker's exact sequence. *)
             let rx = self x in
             let rb = self b in
-            emit (Ipow { base = rb; expo = rx; const_expo = as_const x })
+            emit
+              (Ipow
+                 {
+                   base = rb;
+                   expo = rx;
+                   const_expo = as_const x;
+                   const_rat = as_rat x;
+                 })
         | Apply (op, a) -> emit (Iunop (op, self a))
         | Piecewise (branches, default) ->
             let compiled =
@@ -245,7 +268,8 @@ let forward_pass instrs (fwd : Interval.t array) box n =
             acc := Interval.mul !acc fwd.(regs.(j))
           done;
           !acc
-      | Ipow { base; expo; _ } -> Interval.pow_expr fwd.(base) fwd.(expo)
+      | Ipow { base; expo; const_rat; _ } ->
+          Ieval.pow_node const_rat fwd.(base) fwd.(expo)
       | Iunop (op, a) -> Ieval.apply_unop op fwd.(a)
       | Iselect { branches; default } ->
           let rec walk acc idx =
@@ -327,10 +351,11 @@ let revise prog box =
                 tighten regs.(j) (Interval.div_rel r rest);
               if j < m - 1 then prefix := Interval.mul !prefix fwd.(regs.(j))
             done
-        | Ipow { base; expo; const_expo } -> (
-            match const_expo with
-            | Some p -> tighten_branches base (backward_pow_const r p)
-            | None ->
+        | Ipow { base; expo; const_expo; const_rat } -> (
+            match (const_rat, const_expo) with
+            | Some rat, _ -> tighten_branches base (backward_pow_rat r rat)
+            | None, Some p -> tighten_branches base (backward_pow_const r p)
+            | None, None ->
                 (* Variable exponent: contract the exponent when the base is
                    certainly > 1 or in (0, 1): y = log r / log b. *)
                 let fb = fwd.(base) in
@@ -495,9 +520,20 @@ let adjoint_pass instrs (fwd : Interval.t array) (adj : Interval.t array) s
             accum regs.(j) (Interval.mul a others);
             if j < m - 1 then prefix := Interval.mul !prefix fwd.(regs.(j))
           done
-      | Ipow { base; expo; const_expo } -> (
-          match const_expo with
-          | Some p ->
+      | Ipow { base; expo; const_expo; const_rat } -> (
+          match (const_rat, const_expo) with
+          | Some rat, _
+            when Rat.to_int rat = None
+                 && (match Rat.sub rat Rat.one with
+                    | _ -> true
+                    | exception Rat.Overflow -> false) ->
+              (* d/db b^r = r * b^(r-1) with r exact: both factors carry
+                 the rational's rounding, or the mean-value form would
+                 enclose the derivative of b^fl(r) instead of b^r *)
+              let bq = Transcend.pow_rat fwd.(base) (Rat.sub rat Rat.one) in
+              accum base
+                (Interval.mul a (Interval.mul (Transcend.enclose_rat rat) bq))
+          | _, Some p ->
               if p <> 0.0 then begin
                 (* d/db b^p = p * b^(p-1) *)
                 let q = p -. 1.0 in
@@ -508,7 +544,7 @@ let adjoint_pass instrs (fwd : Interval.t array) (adj : Interval.t array) s
                 in
                 accum base (Interval.mul a (Interval.mul (Interval.point p) bq))
               end
-          | None ->
+          | _, None ->
               (* d/db b^x = x * b^(x-1) = fi * x / b ; d/dx b^x = fi * ln b *)
               let fb = fwd.(base) and fx = fwd.(expo) and fi = fwd.(i) in
               accum base

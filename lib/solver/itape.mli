@@ -87,4 +87,12 @@ val target_of_relation : Form.relation -> Interval.t
 val backward_pow_int : Interval.t -> int -> Interval.t list
 
 val backward_pow_const : Interval.t -> float -> Interval.t list
+
+(** [backward_pow_rat r rat]: the inverse of [x^rat] for an exact
+    rational exponent. Integer rationals reuse {!backward_pow_int}
+    verbatim; non-integer ones invert through {!Transcend.pow_rat} with
+    the exact reciprocal, carrying the exponent rounding that
+    {!backward_pow_const} silently drops. *)
+val backward_pow_rat : Interval.t -> Rat.t -> Interval.t list
+
 val backward_abs : Interval.t -> Interval.t list

@@ -13,6 +13,7 @@ let () =
       ("deriv", Test_deriv.suite);
       ("simplify-subst", Test_simplify.suite);
       ("interval", Test_interval.suite);
+      ("transcend", Test_transcend.suite);
       ("solver", Test_solver.suite);
       ("itape", Test_itape.suite);
       ("taylor", Test_taylor.suite);

@@ -182,8 +182,10 @@ let test_lambert_kernel_nan_evidence () =
    the guard), so sin attains 1... wait, sin attains its extremum where cos
    crosses zero downward — the true maximum of sin on [a, b] is 1 up to the
    enclosure's rounding. The old endpoint-plus-slack estimate returned an
-   upper bound of ~0.99999997, excluding the true maximum. After the fix,
-   arguments beyond 2^20 fall back to the trivially sound [-1, 1]. *)
+   upper bound of ~0.99999997, excluding the true maximum. The legacy
+   implementation escapes to the trivially sound [-1, 1] beyond 2^20; the
+   certified reduction keeps a nontrivial enclosure that still contains
+   the maximum. *)
 let test_trig_huge_argument_sound () =
   let a = 0x1.921fb5446f318p+42 in
   let b = Float.succ a in
@@ -193,8 +195,10 @@ let test_trig_huge_argument_sound () =
   let s = Transcend.sin (Interval.make a b) in
   check_true "sin enclosure of huge args contains the true maximum 1"
     (Interval.mem 1.0 s);
-  check_true "argument is beyond the trust cutoff"
-    (Interval.mag (Interval.make a b) > Transcend.trig_arg_cutoff)
+  check_true "argument is beyond the legacy trust cutoff"
+    (Interval.mag (Interval.make a b) > Transcend.Legacy.trig_arg_cutoff);
+  check_true "certified reduction keeps the enclosure nontrivial"
+    (Interval.width s < 2.0)
 
 let test_trig_small_argument_still_tight () =
   (* The cutoff must not cost precision where the reconstruction is safe. *)
