@@ -13,6 +13,9 @@
      dune exec bench/main.exe scheduler     -- worklist scaling + trace check
      dune exec bench/main.exe micro         -- Bechamel micro-benchmarks
      dune exec bench/main.exe hc4           -- tree HC4 vs compiled interval tape
+                                              vs the batched native JIT kernel
+                                              (jit.* metrics: speedup, compile
+                                              latency, batch-size sweep)
 
    Pass `--json` (anywhere in the argument list) to additionally write
    BENCH_<target>.json for every target run: the target name, its
@@ -83,6 +86,8 @@ let campaign_config =
     use_tape = true;
     split_heuristic = `Widest;
     retry = Verify.no_retry;
+    jit = false;
+    jit_cache = None;
   }
 
 let section title =
@@ -784,6 +789,116 @@ let hc4_bench () =
    in
    Printf.printf "mvf geometric-mean speedup: %.2fx\n" geomean;
    record_metric "mvf_geomean_speedup" geomean);
+
+  (* -- JIT: the interpreted tape pipeline vs the batched native kernel -- *)
+  section "JIT: interpreted tape vs batched native C kernel";
+  (if not (Jit.available ()) then begin
+     Printf.printf "no C compiler found (XCV_CC/cc/gcc) -- skipping\n\n";
+     record_metric "jit_available" 0.0
+   end
+   else begin
+     record_metric "jit_available" 1.0;
+     let jit_speedups = ref [] in
+     let cache = Filename.temp_file "xcvjit-bench" "" in
+     Sys.remove cache;
+     Unix.mkdir cache 0o700;
+     List.iter
+       (fun (dfa_name, cond) ->
+         let dfa = Registry.find dfa_name in
+         let problem = Option.get (Encoder.encode dfa cond) in
+         let formula = problem.Encoder.negated in
+         let domain = problem.Encoder.domain in
+         let compiled = Hc4.compile ~vars:(Box.vars domain) formula in
+         let pair = dfa_name ^ "_" ^ Conditions.name cond in
+         let box = fst (Box.split (fst (Box.split domain))) in
+         Printf.printf "--- %s / %s ---\n" dfa_name (Conditions.name cond);
+         let t0 = Unix.gettimeofday () in
+         match Jit.plan ~cache_dir:cache ~mvf:true ~rounds:4 compiled with
+         | Error e ->
+             Printf.printf "jit plan failed (%s) -- interpreted fallback\n\n" e
+         | Ok plan ->
+             let compile_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+             Printf.printf "%-40s %12.1f ms\n%!" "compile + dlopen" compile_ms;
+             record_metric (pair ^ "_jit_compile_ms") compile_ms;
+             (* the interpreted side of the comparison is the full per-call
+                pipeline the default solver config runs on a box: HC4
+                contraction, the mean-value-form stage, and the status
+                read-off *)
+             let interp b =
+               let r =
+                 match Hc4.contract_tape compiled b ~rounds:4 with
+                 | Hc4.Infeasible -> Hc4.Infeasible
+                 | Hc4.Contracted b' -> Hc4.mean_value_tape compiled b'
+               in
+               match r with
+               | Hc4.Infeasible -> 0
+               | Hc4.Contracted b' -> List.length (Hc4.statuses_on compiled b')
+             in
+             let t_tape =
+               measure
+                 (Test.make ~name:"contract+statuses (tape)"
+                    (Staged.stage (fun () -> interp box)))
+             in
+             let single = [| box |] in
+             let t_jit =
+               measure
+                 (Test.make ~name:"contract+statuses (jit, batch 1)"
+                    (Staged.stage (fun () -> Jit.contract_batch plan single)))
+             in
+             speedup ~pair "jit" t_tape t_jit;
+             (* batch-size sweep over a refined frontier — the box mix a
+                campaign actually feeds the kernel (narrow boxes, atoms
+                undecided), and the granularity the solver dispatches at.
+                The headline geomean is taken on the deepest sweep point. *)
+             let rec refine boxes n =
+               if List.length boxes >= n then boxes
+               else refine (List.concat_map Box.split_all boxes) n
+             in
+             let deepest = 64 in
+             List.iter
+               (fun n ->
+                 let boxes =
+                   Array.of_list
+                     (List.filteri (fun i _ -> i < n) (refine [ domain ] n))
+                 in
+                 let t_batch_tape =
+                   measure
+                     (Test.make
+                        ~name:(Printf.sprintf "tape over %d-box frontier" n)
+                        (Staged.stage (fun () -> Array.map interp boxes)))
+                 in
+                 let t_batch =
+                   measure
+                     (Test.make
+                        ~name:(Printf.sprintf "jit batch %d" n)
+                        (Staged.stage (fun () -> Jit.contract_batch plan boxes)))
+                 in
+                 record_metric
+                   (Printf.sprintf "%s_jit_batch%d_ns_per_box" pair n)
+                   (t_batch /. float_of_int n);
+                 let label = Printf.sprintf "jit_batch%d" n in
+                 speedup ~pair label t_batch_tape t_batch;
+                 if n = deepest then
+                   jit_speedups := (t_batch_tape /. t_batch) :: !jit_speedups)
+               [ 4; 16; deepest ];
+             Printf.printf "\n%!")
+       [
+         ("pbe", Conditions.Ec1);
+         ("pbe", Conditions.Ec7);
+         ("lyp", Conditions.Ec1);
+         ("scan", Conditions.Ec1);
+       ];
+     let sp = !jit_speedups in
+     if sp <> [] then begin
+       let geomean =
+         exp
+           (List.fold_left (fun a x -> a +. log x) 0.0 sp
+           /. float_of_int (List.length sp))
+       in
+       Printf.printf "jit geometric-mean speedup over the tape: %.2fx\n" geomean;
+       record_metric "jit_geomean_speedup" geomean
+     end
+   end);
 
   (* -- split heuristic x contractor grid: fuel spent to a verdict -- *)
   section "Split heuristic: widest vs smear (expansions to verdict)";

@@ -116,6 +116,58 @@ let split_arg =
     & opt (enum [ ("widest", `Widest); ("smear", `Smear) ]) `Widest
     & info [ "split" ] ~doc ~docv:"HEURISTIC")
 
+let jit_arg =
+  let doc =
+    "JIT-compile each pair's interval tape into a batched native C kernel \
+     and contract boxes through it. Paint and Table I are bit-identical to \
+     the interpreted run at any worker count; only the speed changes. \
+     Needs a C compiler ($(b,XCV_CC), $(b,cc) or $(b,gcc)); without one \
+     the run silently stays on the interpreted tape (the $(b,jit.fallbacks) \
+     metric counts it)."
+  in
+  Arg.(value & flag & info [ "jit" ] ~doc)
+
+(* The JIT cache is a directory (unlike the file outputs above): accept an
+   existing writable directory, or a path whose parent is writable so the
+   planner can create it. *)
+let jit_cache_arg =
+  let parse s =
+    if s = "" then Error (`Msg "jit cache path is empty")
+    else if Sys.file_exists s then
+      if not (Sys.is_directory s) then
+        Error (`Msg (Printf.sprintf "jit cache %s is not a directory" s))
+      else
+        match Unix.access s [ Unix.W_OK ] with
+        | () -> Ok s
+        | exception Unix.Unix_error (e, _, _) ->
+            Error
+              (`Msg
+                 (Printf.sprintf "jit cache %s is not writable (%s)" s
+                    (Unix.error_message e)))
+    else
+      let dir = Filename.dirname s in
+      if not (Sys.file_exists dir && Sys.is_directory dir) then
+        Error
+          (`Msg (Printf.sprintf "jit cache parent %s does not exist" dir))
+      else
+        match Unix.access dir [ Unix.W_OK ] with
+        | () -> Ok s
+        | exception Unix.Unix_error (e, _, _) ->
+            Error
+              (`Msg
+                 (Printf.sprintf "jit cache parent %s is not writable (%s)"
+                    dir (Unix.error_message e)))
+  in
+  let doc =
+    "Cache compiled JIT kernels in $(docv) (created if absent), \
+     content-addressed by generated source: later campaigns over the same \
+     formulas and configuration skip the C compiler entirely."
+  in
+  Arg.(
+    value
+    & opt (some (Arg.conv ~docv:"DIR" (parse, Format.pp_print_string))) None
+    & info [ "jit-cache" ] ~doc ~docv:"DIR")
+
 let certify_arg =
   let doc = "Print an interval-certified counterexample certificate." in
   Arg.(value & flag & info [ "certify" ] ~doc)
@@ -199,14 +251,24 @@ let write_metrics_json json path =
 let write_metrics path =
   write_metrics_json (Obs.Metrics.to_json (Obs.Metrics.snapshot ())) path
 
+(* --jit asked for speed; if the toolchain can't deliver it the run still
+   completes (interpreted tape), so warn once instead of failing. *)
+let warn_if_jit_unavailable jit =
+  if jit && not (Jit.available ()) then
+    prerr_endline
+      "warning: --jit requested but no C compiler found (XCV_CC, cc, gcc); \
+       continuing on the interpreted tape"
+
 let config_of ?(use_taylor = true) ?(split = `Widest) ?(workers = 1)
     ?(retries = 0) ?(fuel_growth = 2) ?fault_rate
-    ?(fault_seed = Fault.default_seed) fuel threshold delta deadline =
+    ?(fault_seed = Fault.default_seed) ?(jit = false) ?jit_cache fuel
+    threshold delta deadline =
   let faults =
     match fault_rate with
     | Some rate -> Some (Fault.make ~seed:fault_seed ~rate ())
     | None -> Fault.of_env ()
   in
+  warn_if_jit_unavailable jit;
   {
     Verify.threshold;
     solver =
@@ -217,6 +279,8 @@ let config_of ?(use_taylor = true) ?(split = `Widest) ?(workers = 1)
     use_tape = true;
     split_heuristic = split;
     retry = { Verify.max_retries = retries; fuel_growth };
+    jit;
+    jit_cache;
   }
 
 let lookup_pair dfa cond =
@@ -295,7 +359,8 @@ let encode_cmd =
 
 let verify_cmd =
   let run dfa cond fuel threshold delta deadline map use_taylor split certify
-      workers trace metrics retries fuel_growth fault_rate fault_seed =
+      workers trace metrics retries fuel_growth fault_rate fault_seed jit
+      jit_cache =
     match lookup_pair dfa cond with
     | Error e ->
         prerr_endline e;
@@ -303,7 +368,8 @@ let verify_cmd =
     | Ok (f, c) -> (
         let config =
           config_of ~use_taylor ~split ~workers ~retries ~fuel_growth
-            ?fault_rate ~fault_seed fuel threshold delta deadline
+            ?fault_rate ~fault_seed ~jit ?jit_cache fuel threshold delta
+            deadline
         in
         match Encoder.encode f c with
         | None ->
@@ -352,7 +418,8 @@ let verify_cmd =
       const run $ dfa_arg $ condition_arg $ fuel_arg $ threshold_arg
       $ delta_arg $ deadline_arg $ map_arg $ taylor_arg $ split_arg
       $ certify_arg $ workers_arg $ trace_arg $ metrics_arg $ retries_arg
-      $ fuel_growth_arg $ fault_rate_arg $ fault_seed_arg)
+      $ fuel_growth_arg $ fault_rate_arg $ fault_seed_arg $ jit_arg
+      $ jit_cache_arg)
 
 (* ---- extra (extension conditions) ------------------------------------ *)
 
@@ -489,18 +556,22 @@ let campaign_cmd =
   in
   let run quick fuel threshold delta deadline split workers save checkpoint
       resume metrics progress retries fuel_growth fault_rate fault_seed shard
-      shards merge =
+      shards merge jit jit_cache =
     let config =
-      if quick then
+      if quick then begin
+        warn_if_jit_unavailable jit;
         {
           Verify.quick_config with
           split_heuristic = split;
           workers =
             (if workers <= 0 then Pool.default_workers () else workers);
+          jit;
+          jit_cache;
         }
+      end
       else
         config_of ~split ~workers ~retries ~fuel_growth ?fault_rate
-          ~fault_seed fuel threshold delta deadline
+          ~fault_seed ~jit ?jit_cache fuel threshold delta deadline
     in
     (match
        List.filter
@@ -613,6 +684,10 @@ let campaign_cmd =
               @ (match metrics with
                 | Some m when m <> "-" -> [ "--metrics"; m ]
                 | _ -> [])
+              @ (if jit then [ "--jit" ] else [])
+              @ (match jit_cache with
+                | Some d -> [ "--jit-cache"; d ]
+                | None -> [])
               @ (if progress then [ "--progress" ] else [])
               @ (if resume then [ "--resume"; base ] else [])
             in
@@ -670,7 +745,7 @@ let campaign_cmd =
       $ deadline_arg $ split_arg $ workers_arg $ save_arg $ checkpoint_arg
       $ resume_arg $ metrics_arg $ progress_arg $ retries_arg
       $ fuel_growth_arg $ fault_rate_arg $ fault_seed_arg $ shard_arg
-      $ shards_arg $ merge_arg)
+      $ shards_arg $ merge_arg $ jit_arg $ jit_cache_arg)
 
 (* ---- replay ----------------------------------------------------------- *)
 
@@ -800,8 +875,10 @@ let serve_cmd =
     Arg.(value & flag & info [ "progress" ] ~doc)
   in
   let run socket cache_dir max_inflight deadline_ms fuel_quota fuel threshold
-      delta workers progress =
-    let verify = config_of ~workers fuel threshold delta None in
+      delta workers progress jit jit_cache =
+    let verify =
+      config_of ~workers ~jit ?jit_cache fuel threshold delta None
+    in
     (* same ambient-hook idiom as XCV_SHARD_KILL_AFTER: tear the cache
        group file after the Nth commit and die by SIGKILL, so the restart
        test can check repair + byte-identical replay *)
@@ -841,7 +918,7 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ cache_dir_arg $ max_inflight_arg
       $ deadline_ms_arg $ fuel_quota_arg $ fuel_arg $ threshold_arg
-      $ delta_arg $ workers_arg $ progress_arg)
+      $ delta_arg $ workers_arg $ progress_arg $ jit_arg $ jit_cache_arg)
 
 let query_cmd =
   let condition_opt_arg =

@@ -25,6 +25,8 @@ let config =
     use_tape = true;
     split_heuristic = `Widest;
     retry = Verify.no_retry;
+    jit = false;
+    jit_cache = None;
   }
 
 let gate label (dfa : Registry.t) cond =

@@ -80,6 +80,8 @@ let () =
       use_tape = true;
       split_heuristic = `Widest;
       retry = Verify.no_retry;
+      jit = false;
+      jit_cache = None;
     }
   in
   List.iter

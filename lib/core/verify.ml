@@ -30,6 +30,8 @@ type config = {
   use_tape : bool;
   split_heuristic : [ `Widest | `Smear ];
   retry : retry_policy;
+  jit : bool;
+  jit_cache : string option;
 }
 
 let default_config =
@@ -43,6 +45,8 @@ let default_config =
     use_tape = true;
     split_heuristic = `Widest;
     retry = no_retry;
+    jit = false;
+    jit_cache = None;
   }
 
 let quick_config =
@@ -56,6 +60,8 @@ let quick_config =
     use_tape = true;
     split_heuristic = `Widest;
     retry = no_retry;
+    jit = false;
+    jit_cache = None;
   }
 
 (* Fuel for retry attempt [k]: the base budget escalated by the policy's
@@ -182,11 +188,29 @@ let run_custom_sharded ?(config = default_config) ?recorder ?shard ?stop
         in
         (tape, contractors))
   in
+  (* JIT: compile the same tape into a batched native kernel, once per
+     pair. The kernel replays the whole contraction pipeline (HC4 agenda
+     plus the mean-value stage when [use_taylor]) bit-identically, so
+     engaging it never changes paint. Any failure — no C compiler, a
+     failing compile, a bad dlopen — leaves [native = None] and the run
+     continues on the interpreted tape ([jit.fallbacks] counts it). *)
+  let native =
+    match (config.jit, tape) with
+    | true, Some compiled -> (
+        match
+          Jit.plan ?cache_dir:config.jit_cache ~mvf:config.use_taylor
+            ~rounds:config.solver.Icp.contractor_rounds compiled
+        with
+        | Ok plan -> Some (Jit.native_batch plan)
+        | Error _ -> None)
+    | _ -> None
+  in
   let solver_config =
     {
       config.solver with
       Icp.tape;
       split_heuristic = config.split_heuristic;
+      native;
     }
   in
   (* Campaign-level smear priority: the task's key is its maximum
@@ -521,7 +545,9 @@ let run_sharded ?config ?shard (p : Encoder.problem) =
    tape choices, split heuristic and retry policy. [workers] and
    [deadline_seconds] are deliberately excluded — they change scheduling,
    never verdicts (for deadline-free runs), and a checkpoint taken at -j4
-   must be resumable at -j1. *)
+   must be resumable at -j1. [jit] and [jit_cache] are excluded for the
+   same reason: the native kernel is bit-identical to the interpreted
+   tape, so a checkpoint taken with --jit must be resumable without it. *)
 
 let config_hash (c : config) =
   let b = Buffer.create 128 in

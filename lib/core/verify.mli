@@ -74,6 +74,19 @@ type config = {
           without it. Sound either way: the heuristic changes exploration
           order, never verdict soundness. *)
   retry : retry_policy;
+  jit : bool;
+      (** compile the pair's tape into a batched native C kernel ({!Jit})
+          and contract boxes through it. Bit-identical paint at any worker
+          count — the kernel replays the interpreted pipeline operation
+          for operation — just faster. Needs [use_tape]; when no C
+          compiler is available or compilation fails the run silently
+          stays on the interpreted tape ([jit.fallbacks] in the metrics
+          counts it). Off by default. *)
+  jit_cache : string option;
+      (** directory for compiled kernels, content-addressed by source
+          digest: campaigns over the same formulas reuse the [.so] instead
+          of invoking the compiler again. [None] (default): a private temp
+          workspace, removed at exit. *)
 }
 
 val default_config : config

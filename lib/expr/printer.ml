@@ -206,6 +206,57 @@ let c_unop = function
   | Abs -> "fabs"
   | Lambert_w -> "xcv_lambert_w"
 
+(* Reference runtime for the emitted kernels. Both helpers transliterate
+   the OCaml float evaluator operation for operation — [xcv_pow_int] is
+   {!Eval.pow_float}'s binary-exponentiation loop (same multiply order,
+   hence the same rounding sequence), [xcv_lambert_w] is {!Lambert.w0}'s
+   guess-plus-Halley scheme — so generated code stays comparable to [Eval]
+   to rounding noise rather than to algorithm choice. *)
+let c_prelude =
+  "#ifndef XCV_C_PRELUDE\n\
+   #define XCV_C_PRELUDE\n\
+   static double xcv_pow_int(double b, int n) {\n\
+  \  double acc = 1.0;\n\
+  \  int m = n < 0 ? -n : n;\n\
+  \  while (m > 0) {\n\
+  \    if (m & 1) acc *= b;\n\
+  \    b *= b;\n\
+  \    m >>= 1;\n\
+  \  }\n\
+  \  return n >= 0 ? acc : 1.0 / acc;\n\
+   }\n\
+   static double xcv_lambert_w(double x) {\n\
+  \  if (isnan(x)) return x;\n\
+  \  if (x == (double)INFINITY) return x;\n\
+  \  if (x == 0.0) return 0.0;\n\
+  \  if (x < -exp(-1.0) - 1e-15) return (double)NAN;\n\
+  \  double w;\n\
+  \  if (x < -0.25) {\n\
+  \    double p = sqrt(2.0 * ((exp(1.0) * x) + 1.0));\n\
+  \    w = -1.0 + p - (p * p / 3.0);\n\
+  \  } else if (x < 0.25) {\n\
+  \    w = x * (1.0 - x + (1.5 * x * x)) / (1.0 + (0.5 * x));\n\
+  \  } else if (x < 10.0) {\n\
+  \    w = log1p(x);\n\
+  \  } else {\n\
+  \    double l1 = log(x);\n\
+  \    double l2 = log(l1);\n\
+  \    w = l1 - l2 + (l2 / l1);\n\
+  \  }\n\
+  \  if (w <= -1.0) w = -1.0 + 1e-12;\n\
+  \  for (int i = 0; i < 8; i++) {\n\
+  \    double ew = exp(w);\n\
+  \    double f = (w * ew) - x;\n\
+  \    if (f != 0.0) {\n\
+  \      double w1 = w + 1.0;\n\
+  \      double denom = (ew * w1) - ((w + 2.0) * f / (2.0 * w1));\n\
+  \      if (denom != 0.0 && isfinite(denom)) w = w - (f / denom);\n\
+  \    }\n\
+  \  }\n\
+  \  return w;\n\
+   }\n\
+   #endif /* XCV_C_PRELUDE */\n"
+
 let pp_c ~name ~vars ppf e =
   (* Emit one temporary per DAG node with more than one parent; inline the
      rest. First count parents. *)
@@ -249,6 +300,9 @@ let pp_c ~name ~vars ppf e =
     match x.node with
     | Num r when Rat.is_int r -> Printf.sprintf "%d.0" r.Rat.num
     | Num r -> Printf.sprintf "(%d.0 / %d.0)" r.Rat.num r.Rat.den
+    | Flt f when Float.is_nan f -> "((double)NAN)"
+    | Flt f when f = Float.infinity -> "((double)INFINITY)"
+    | Flt f when f = Float.neg_infinity -> "(-(double)INFINITY)"
     | Flt f -> Printf.sprintf "%.17g" f
     | Var v -> v
     | Add terms -> "(" ^ String.concat " + " (List.map ref_of terms) ^ ")"
@@ -260,11 +314,20 @@ let pp_c ~name ~vars ppf e =
             Printf.sprintf "(%s * %s)" rb rb
         | Some r when Rat.is_int r && r.Rat.num = -1 ->
             Printf.sprintf "(1.0 / %s)" (ref_of b)
+        | Some r when Rat.is_int r && Stdlib.abs r.Rat.num <= 64 ->
+            (* The evaluator's binary-exponentiation cutoff; beyond it both
+               sides fall back to libm pow. *)
+            Printf.sprintf "xcv_pow_int(%s, %d)" (ref_of b) r.Rat.num
         | Some r when Rat.equal r Rat.half ->
             Printf.sprintf "sqrt(%s)" (ref_of b)
         | Some r when Rat.equal r Rat.third ->
             Printf.sprintf "cbrt(%s)" (ref_of b)
-        | _ -> Printf.sprintf "pow(%s, %s)" (ref_of b) (ref_of x'))
+        | Some r when r.Rat.num = -1 && r.Rat.den = 2 ->
+            Printf.sprintf "(1.0 / sqrt(%s))" (ref_of b)
+        | Some r ->
+            Printf.sprintf "pow(%s, (%d.0 / %d.0))" (ref_of b) r.Rat.num
+              r.Rat.den
+        | None -> Printf.sprintf "pow(%s, %s)" (ref_of b) (ref_of x'))
     | Apply (op, a) -> Printf.sprintf "%s(%s)" (c_unop op) (ref_of a)
     | Piecewise (branches, default) ->
         let rec chain = function

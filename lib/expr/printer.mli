@@ -16,12 +16,24 @@ val sexp_to_string : Expr.t -> string
 val pp_python : Format.formatter -> Expr.t -> unit
 val python_to_string : Expr.t -> string
 
+(** C99 definitions the emitted functions may call: [xcv_pow_int] (the
+    evaluator's binary-exponentiation loop, same multiply order as
+    {!Eval.eval} so integer powers agree bit for bit) and
+    [xcv_lambert_w] (a reference transliteration of {!Lambert.w0}'s
+    initial guess plus Halley iteration). Prepend once per translation
+    unit, after [#include <math.h>]; the block is include-guarded so
+    concatenating generated files stays legal. *)
+val c_prelude : string
+
 (** [pp_c ~name ~vars ppf e] emits a complete C99 function
     [double name(double v1, ...)] computing [e] — the reverse of the
     paper's Maple-to-code step, and the shape LibXC itself ships.
     Common subexpressions become local [t<n>] temporaries (one per shared
-    DAG node), piecewise bodies become conditional expressions, and
-    [lambert_w] is emitted as a call to an extern [xcv_lambert_w]. *)
+    DAG node), piecewise bodies become conditional expressions, integer
+    powers up to the evaluator's 64 cutoff become [xcv_pow_int] chains,
+    rational exponents print as exact [num/den] divisions, and
+    [lambert_w] calls [xcv_lambert_w] — both helpers live in
+    {!c_prelude}. *)
 val pp_c : name:string -> vars:string list -> Format.formatter -> Expr.t -> unit
 
 val c_to_string : name:string -> vars:string list -> Expr.t -> string

@@ -279,6 +279,8 @@ let compile ~vars formula =
   }
 
 let atoms compiled = Array.length compiled.progs
+let progs compiled = compiled.progs
+let incidence compiled = compiled.incidence
 
 let statuses_on compiled box =
   Array.to_list

@@ -57,6 +57,15 @@ val compile : vars:string list -> Form.t -> compiled
 (** Number of compiled atoms. *)
 val atoms : compiled -> int
 
+(** The compiled tapes, in formula order. Read-only: exposed for external
+    code generators ({!Jit}) that render the same programs the interpreted
+    agenda replays. *)
+val progs : compiled -> Itape.t array
+
+(** Box dimension -> indices of atoms reading it — the agenda's re-dirty
+    map. Read-only, same caveat as {!progs}. *)
+val incidence : compiled -> int array array
+
 (** [statuses_on compiled box] is [Form.status_on box] of every atom, in
     formula order, computed by tape forward passes instead of tree walks.
     Identical statuses — {!Itape.eval} reproduces [Ieval.eval] exactly. *)

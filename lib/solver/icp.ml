@@ -11,6 +11,18 @@ type stats = {
   sweeps : int;
 }
 
+type native_outcome = {
+  n_result : Hc4.result;
+  n_statuses : [ `Holds | `Fails | `Unknown ] array;
+  n_revise : int;
+  n_sweeps : int;
+}
+
+type native_batch = {
+  nb_width : int;
+  nb_contract : Box.t array -> native_outcome array;
+}
+
 type config = {
   delta : float;
   fuel : int;
@@ -19,6 +31,7 @@ type config = {
   faults : Fault.plan option;
   tape : Hc4.compiled option;
   split_heuristic : [ `Widest | `Smear ];
+  native : native_batch option;
 }
 
 let default_config =
@@ -30,7 +43,22 @@ let default_config =
     faults = Fault.of_env ();
     tape = None;
     split_heuristic = `Widest;
+    native = None;
   }
+
+(* Bit-exact identity of a box's bounds, the memo key of the native batch
+   path. Contraction is a pure function of the box, so two boxes with equal
+   keys have equal outcomes — byte-identity of the batched path reduces to
+   byte-identity of one native contraction. *)
+let box_key box =
+  let d = Box.dim box in
+  let b = Bytes.create (16 * d) in
+  for i = 0 to d - 1 do
+    let iv = Box.get_idx box i in
+    Bytes.set_int64_le b (16 * i) (Int64.bits_of_float (Interval.inf iv));
+    Bytes.set_int64_le b ((16 * i) + 8) (Int64.bits_of_float (Interval.sup iv))
+  done;
+  Bytes.unsafe_to_string b
 
 (* A stable identity for a solver call: the box bounds, bit-exact. Fault
    decisions keyed on it are independent of scheduling order, so injected
@@ -111,6 +139,50 @@ let solve_real ~contractors cfg box formula =
       (Stdlib.max 0 (total - !contract_ns));
     (verdict, s)
   in
+  (* Native (JIT) batch path: one memo table per solver call, keyed by box
+     bounds. A popped box on a memo miss is contracted together with up to
+     [nb_width - 1] not-yet-memoized boxes speculatively pulled from the
+     pending worklist — those boxes will be popped (unsplit) later, so
+     their memoized outcomes are consumed then. Counter deltas are applied
+     at consume time, entries are never evicted, and duplicated boxes
+     re-apply their deltas — exactly the interpreted path's accounting. *)
+  let memo : (string, native_outcome) Hashtbl.t = Hashtbl.create 512 in
+  let native_statuses = ref [||] in
+  let native_contract nb box rest =
+    Obs.Metrics.incr m_hc4_tape 1;
+    let key = box_key box in
+    let outcome =
+      match Hashtbl.find_opt memo key with
+      | Some o -> o
+      | None ->
+          let count = ref 1 and racc = ref [] in
+          let seen = Hashtbl.create 8 in
+          Hashtbl.add seen key ();
+          (try
+             List.iter
+               (fun (b, _) ->
+                 if !count >= nb.nb_width then raise_notrace Exit;
+                 let k = box_key b in
+                 if (not (Hashtbl.mem memo k)) && not (Hashtbl.mem seen k)
+                 then begin
+                   Hashtbl.add seen k ();
+                   racc := b :: !racc;
+                   incr count
+                 end)
+               rest
+           with Exit -> ());
+          let batch = Array.of_list (box :: List.rev !racc) in
+          let outs = nb.nb_contract batch in
+          Array.iteri
+            (fun i o -> Hashtbl.replace memo (box_key batch.(i)) o)
+            outs;
+          Hashtbl.find memo key
+    in
+    hc4.Hc4.revise_calls <- hc4.Hc4.revise_calls + outcome.n_revise;
+    hc4.Hc4.sweeps <- hc4.Hc4.sweeps + outcome.n_sweeps;
+    native_statuses := outcome.n_statuses;
+    outcome.n_result
+  in
   (* Worklist of (box, depth), depth-first. *)
   let rec loop = function
     | [] -> finish Unsat
@@ -122,27 +194,34 @@ let solve_real ~contractors cfg box formula =
           let before_w = Box.max_width box in
           let c0 = Obs.Clock.now_ns () in
           let contracted =
-            match
-              match cfg.tape with
-              | Some compiled ->
-                  Obs.Metrics.incr m_hc4_tape 1;
-                  Hc4.contract_tape ~counters:hc4 compiled box
-                    ~rounds:cfg.contractor_rounds
-              | None ->
-                  Obs.Metrics.incr m_hc4_tree 1;
-                  Hc4.contract ~counters:hc4 box formula
-                    ~rounds:cfg.contractor_rounds
-            with
-            | Hc4.Infeasible -> Hc4.Infeasible
-            | Hc4.Contracted box ->
-                (* extra pipeline stages (e.g. the mean-value-form
-                   contractor), each sound on its own *)
-                List.fold_left
-                  (fun acc stage ->
-                    match acc with
-                    | Hc4.Infeasible -> Hc4.Infeasible
-                    | Hc4.Contracted b -> stage b)
-                  (Hc4.Contracted box) contractors
+            match cfg.native with
+            | Some nb ->
+                (* The native kernel replays the whole pipeline — HC4 agenda
+                   plus the configured mean-value stage — so the interpreted
+                   stages below are not applied on top. *)
+                native_contract nb box rest
+            | None -> (
+                match
+                  match cfg.tape with
+                  | Some compiled ->
+                      Obs.Metrics.incr m_hc4_tape 1;
+                      Hc4.contract_tape ~counters:hc4 compiled box
+                        ~rounds:cfg.contractor_rounds
+                  | None ->
+                      Obs.Metrics.incr m_hc4_tree 1;
+                      Hc4.contract ~counters:hc4 box formula
+                        ~rounds:cfg.contractor_rounds
+                with
+                | Hc4.Infeasible -> Hc4.Infeasible
+                | Hc4.Contracted box ->
+                    (* extra pipeline stages (e.g. the mean-value-form
+                       contractor), each sound on its own *)
+                    List.fold_left
+                      (fun acc stage ->
+                        match acc with
+                        | Hc4.Infeasible -> Hc4.Infeasible
+                        | Hc4.Contracted b -> stage b)
+                      (Hc4.Contracted box) contractors)
           in
           contract_ns := !contract_ns + (Obs.Clock.now_ns () - c0);
           (match contracted with
@@ -168,9 +247,13 @@ let solve_real ~contractors cfg box formula =
               end
               else begin
                 let statuses =
-                  match cfg.tape with
-                  | Some compiled -> Hc4.statuses_on compiled box
-                  | None -> List.map (fun a -> Form.status_on box a) formula
+                  match cfg.native with
+                  | Some _ -> Array.to_list !native_statuses
+                  | None -> (
+                      match cfg.tape with
+                      | Some compiled -> Hc4.statuses_on compiled box
+                      | None ->
+                          List.map (fun a -> Form.status_on box a) formula)
                 in
                 if List.for_all (fun s -> s = `Holds) statuses then
                   (* Every point of the box is a model. *)

@@ -35,6 +35,28 @@ type stats = {
   sweeps : int;  (** HC4 contraction sweeps *)
 }
 
+(** Result of one native (JIT-compiled) contraction of one box: the
+    pipeline outcome, the per-atom statuses on the contracted box, and the
+    revise/sweep counter deltas the kernel accrued — applied to the
+    caller's {!Hc4.counters} when the box is consumed, so the interpreted
+    and native paths report identical deterministic counters. *)
+type native_outcome = {
+  n_result : Hc4.result;
+  n_statuses : [ `Holds | `Fails | `Unknown ] array;
+  n_revise : int;
+  n_sweeps : int;
+}
+
+(** A batched native contractor ({!Jit}): one call contracts up to
+    [nb_width] boxes. The kernel must replay the {e whole} configured
+    pipeline (HC4 agenda and any mean-value stage) bit-identically to the
+    interpreted tape; when [config.native] is set the [contractors]
+    argument of {!solve} is ignored. *)
+type native_batch = {
+  nb_width : int;
+  nb_contract : Box.t array -> native_outcome array;
+}
+
 type config = {
   delta : float;  (** box-width threshold for the δ-SAT verdict *)
   fuel : int;  (** maximum box expansions before {!Timeout} *)
@@ -58,6 +80,12 @@ type config = {
           ({!Hc4.smear_scores}). [`Smear] needs [tape]; without one it
           silently degrades to widest-first. Both splits are sound — the
           heuristic changes exploration order, never verdict soundness. *)
+  native : native_batch option;
+      (** when set, contraction dispatches to this batched native kernel
+          instead of the interpreted tape (speculatively prefetching
+          pending worklist boxes into the same call, memoized per box
+          bounds). [None] in [default_config]; the verifier installs the
+          {!Jit} kernel behind [--jit]. *)
 }
 
 val default_config : config

@@ -164,6 +164,14 @@ let compile ~vars (atom : Form.atom) =
 let length prog = Array.length prog.instrs
 let slots prog = prog.slots
 
+(* Read-only program view for external code generators (lib/jit). *)
+let instrs prog = prog.instrs
+let root prog = prog.root
+let rel prog = prog.rel
+let target prog = prog.target
+let var_regs prog = prog.var_regs
+let has_select prog = prog.has_select
+
 (* ------------------------------------------------------------------ *)
 (* Per-domain scratch registers                                        *)
 (* ------------------------------------------------------------------ *)

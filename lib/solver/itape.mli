@@ -19,6 +19,44 @@ type result = Contracted of Box.t | Infeasible
 
 type t
 
+(** {1 Program view}
+
+    The instruction set, exposed read-only so external code generators
+    (the {!Jit} C emitter) can render a compiled tape without re-deriving
+    the SSA construction. The arrays returned below are the tape's own —
+    callers must not mutate them. *)
+
+type instr =
+  | Iconst of Interval.t
+  | Ivar of int  (** box dimension *)
+  | Iadd of int array
+  | Imul of int array
+  | Ipow of {
+      base : int;
+      expo : int;
+      const_expo : float option;
+      const_rat : Rat.t option;
+    }
+  | Iunop of Expr.unop * int
+  | Iselect of { branches : (int * Expr.rel * int) array; default : int }
+
+(** Instructions in forward (children-first) order; register [i] is the
+    result of [instrs.(i)]. *)
+val instrs : t -> instr array
+
+(** Register holding the atom's expression. *)
+val root : t -> int
+
+val rel : t -> Form.relation
+
+(** [target_of_relation (rel prog)], precomputed. *)
+val target : t -> Interval.t
+
+(** [(register, box dimension)] per [Ivar], in emission order. *)
+val var_regs : t -> (int * int) array
+
+val has_select : t -> bool
+
 (** [compile ~vars atom] compiles [atom] against the variable order [vars]
     (the box's {!Box.vars}); boxes passed to {!revise} must use that order.
     @raise Invalid_argument when the atom reads a variable not in [vars]. *)

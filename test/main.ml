@@ -35,5 +35,6 @@ let () =
       ("mutate", Test_mutate.suite);
       ("obs", Test_obs.suite);
       ("codegen", Test_codegen.suite);
+      ("jit", Test_jit.suite);
       ("service", Test_service.suite);
     ]

@@ -213,6 +213,8 @@ let pair_config ~split_heuristic ~workers =
     use_tape = true;
     split_heuristic;
     retry = Verify.no_retry;
+    jit = false;
+    jit_cache = None;
   }
 
 let test_verdict_class_equivalence () =

@@ -203,6 +203,8 @@ let test_extra_verification () =
       use_tape = true;
       split_heuristic = `Widest;
       retry = Verify.no_retry;
+      jit = false;
+      jit_cache = None;
     }
   in
   let run dfa cond =

@@ -333,6 +333,8 @@ let campaign_config ~use_tape ~workers =
     use_tape;
     split_heuristic = `Widest;
     retry = Verify.no_retry;
+    jit = false;
+    jit_cache = None;
   }
 
 let normalized o = Serialize.to_string { o with Outcome.stats = Outcome.zero_stats }

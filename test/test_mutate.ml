@@ -18,6 +18,8 @@ let config =
     use_tape = true;
     split_heuristic = `Widest;
     retry = { Verify.max_retries = 2; fuel_growth = 2 };
+    jit = false;
+    jit_cache = None;
   }
 
 let refuted o = Outcome.classify o = Outcome.Refuted

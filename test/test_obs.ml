@@ -91,6 +91,8 @@ let det_config ?(retry = Verify.no_retry) workers =
     use_tape = true;
     split_heuristic = `Widest;
     retry;
+    jit = false;
+    jit_cache = None;
   }
 
 (* Run pz81/EC1 under a private instance and hand back its snapshots. *)

@@ -227,6 +227,8 @@ let equiv_config workers =
     use_tape = true;
     split_heuristic = `Widest;
     retry = Verify.no_retry;
+    jit = false;
+    jit_cache = None;
   }
 
 let region_fingerprint (r : Outcome.region) =

@@ -11,6 +11,8 @@ let fast_config =
     use_tape = true;
     split_heuristic = `Widest;
     retry = Verify.no_retry;
+    jit = false;
+    jit_cache = None;
   }
 
 let outcome dfa cond =

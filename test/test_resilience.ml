@@ -33,6 +33,8 @@ let config ?faults ?(retry = Verify.no_retry) ?(workers = test_workers) () =
     use_tape = true;
     split_heuristic = `Widest;
     retry;
+    jit = false;
+    jit_cache = None;
   }
 
 let run ?faults ?retry ?workers () =
@@ -274,6 +276,8 @@ let campaign_config =
     use_tape = true;
     split_heuristic = `Widest;
     retry = Verify.no_retry;
+    jit = false;
+    jit_cache = None;
   }
 
 let lyp = [ Registry.find "lyp" ]

@@ -69,6 +69,8 @@ let quick_verify ?(threshold = 0.3) ?(fuel = 25) () =
     use_tape = true;
     split_heuristic = `Widest;
     retry = Verify.no_retry;
+    jit = false;
+    jit_cache = None;
   }
 
 let engine_config ?(max_inflight = 8) ?fuel_quota ?default_deadline_ms

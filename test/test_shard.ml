@@ -40,6 +40,8 @@ let config ?(workers = 1) () =
     use_tape = true;
     split_heuristic = `Widest;
     retry = Verify.no_retry;
+    jit = false;
+    jit_cache = None;
   }
 
 let with_fresh_instance f =
@@ -208,6 +210,8 @@ let campaign_cfg =
     use_tape = true;
     split_heuristic = `Widest;
     retry = Verify.no_retry;
+    jit = false;
+    jit_cache = None;
   }
 
 let lyp = [ Registry.find "lyp" ]

@@ -123,6 +123,8 @@ let test_verify_integration () =
       use_tape = true;
       split_heuristic = `Widest;
       retry = Verify.no_retry;
+      jit = false;
+      jit_cache = None;
     }
   in
   match Xcverifier.verify ~config ~dfa:"pbe" ~condition:"ec1" () with

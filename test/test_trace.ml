@@ -29,6 +29,8 @@ let config workers =
     use_tape = true;
     split_heuristic = `Widest;
     retry = Verify.no_retry;
+    jit = false;
+    jit_cache = None;
   }
 
 let traced_run workers =
